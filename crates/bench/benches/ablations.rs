@@ -1,0 +1,140 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! replacement policy, whole-block-overwrite elision, delete
+//! invalidation, read-write billing, and the bsdfs write policies.
+//!
+//! Each target reports the *work* (wall time) of the configuration;
+//! the printed `disk_ios` side effects are what the ablation studies
+//! in EXPERIMENTS.md cite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bsdfs::{BufWritePolicy, Fs, FsParams, OpenFlags};
+use cachesim::{replay_events, CacheConfig, Replacement, RwHandling, Simulator, WritePolicy};
+use fstrace::Trace;
+use workload::{generate, MachineProfile, WorkloadConfig};
+
+fn trace() -> Trace {
+    generate(&WorkloadConfig {
+        profile: MachineProfile::ucbarpa(),
+        seed: 21,
+        duration_hours: 0.15,
+        ..WorkloadConfig::default()
+    })
+    .expect("generation")
+    .trace
+}
+
+fn bench_replacement(c: &mut Criterion) {
+    let t = trace();
+    let base = CacheConfig {
+        cache_bytes: 1 << 20,
+        write_policy: WritePolicy::DelayedWrite,
+        ..CacheConfig::default()
+    };
+    let events = replay_events(&t, &base);
+    let mut g = c.benchmark_group("ablation_replacement");
+    for (name, repl) in [("lru", Replacement::Lru), ("fifo", Replacement::Fifo)] {
+        let cfg = CacheConfig {
+            replacement: repl,
+            ..base.clone()
+        };
+        let ios = Simulator::run_events(&events, &cfg).disk_ios();
+        g.bench_function(format!("{name}_ios_{ios}"), |b| {
+            b.iter(|| Simulator::run_events(&events, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_elision_and_invalidation(c: &mut Criterion) {
+    let t = trace();
+    let base = CacheConfig {
+        cache_bytes: 1 << 20,
+        write_policy: WritePolicy::DelayedWrite,
+        ..CacheConfig::default()
+    };
+    let events = replay_events(&t, &base);
+    let mut g = c.benchmark_group("ablation_mechanisms");
+    let variants: [(&str, CacheConfig); 3] = [
+        ("full", base.clone()),
+        (
+            "no_elision",
+            CacheConfig {
+                whole_block_elision: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_invalidation",
+            CacheConfig {
+                invalidate_on_delete: false,
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let ios = Simulator::run_events(&events, &cfg).disk_ios();
+        g.bench_function(format!("{name}_ios_{ios}"), |b| {
+            b.iter(|| Simulator::run_events(&events, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rw_handling(c: &mut Criterion) {
+    let t = trace();
+    let mut g = c.benchmark_group("ablation_rw_billing");
+    for (name, rw) in [
+        ("as_write", RwHandling::Write),
+        ("as_read", RwHandling::Read),
+        ("as_both", RwHandling::Both),
+    ] {
+        let cfg = CacheConfig {
+            cache_bytes: 1 << 20,
+            write_policy: WritePolicy::DelayedWrite,
+            rw_handling: rw,
+            ..CacheConfig::default()
+        };
+        let ios = Simulator::run(&t, &cfg).disk_ios();
+        g.bench_function(format!("{name}_ios_{ios}"), |b| b.iter(|| Simulator::run(&t, &cfg)));
+    }
+    g.finish();
+}
+
+fn bench_bsdfs_write_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bsdfs_policy");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("write_through", BufWritePolicy::WriteThrough),
+        ("flush_30s", BufWritePolicy::FlushBack { interval_ms: 30_000 }),
+        ("delayed", BufWritePolicy::DelayedWrite),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut fs = Fs::with_policy(FsParams::small(), policy).unwrap();
+                fs.set_trace_enabled(false);
+                for i in 0..50u64 {
+                    let p = format!("/f{i}");
+                    let fd = fs.open(&p, OpenFlags::create_write(), 0, i * 100).unwrap();
+                    fs.write(fd, 6_000, i * 100).unwrap();
+                    fs.close(fd, i * 100 + 50).unwrap();
+                    if i % 2 == 0 {
+                        fs.unlink(&p, 0, i * 100 + 60).unwrap();
+                    }
+                }
+                fs.sync(10_000);
+                fs.disk_stats().total_ops()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replacement,
+    bench_elision_and_invalidation,
+    bench_rw_handling,
+    bench_bsdfs_write_policies
+);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Substrate throughput benchmarks: codecs, file system operations,
+//! cache engine, analyzer, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bsdfs::{Fs, FsParams, OpenFlags};
+use cachesim::{BlockCache, BlockId, CacheConfig, WritePolicy};
+use fstrace::{FileId, Trace};
+use simstat::{Distribution, LogHistogram};
+use workload::{generate, MachineProfile, WorkloadConfig};
+
+fn small_trace() -> Trace {
+    generate(&WorkloadConfig {
+        profile: MachineProfile::ucbarpa(),
+        seed: 11,
+        duration_hours: 0.1,
+        ..WorkloadConfig::default()
+    })
+    .expect("generation")
+    .trace
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let trace = small_trace();
+    let bytes = trace.to_binary();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_binary", |b| b.iter(|| trace.to_binary()));
+    g.bench_function("decode_binary", |b| {
+        b.iter(|| Trace::from_binary(&bytes).unwrap())
+    });
+    let mut text = Vec::new();
+    trace.write_text(&mut text).unwrap();
+    let text = String::from_utf8(text).unwrap();
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("decode_text", |b| b.iter(|| Trace::from_text(&text).unwrap()));
+    g.finish();
+}
+
+fn bench_bsdfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bsdfs");
+    g.bench_function("create_write_close_unlink_8k", |b| {
+        let mut fs = Fs::new(FsParams::bsd42()).unwrap();
+        fs.set_trace_enabled(false);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 10;
+            let fd = fs.open("/bench", OpenFlags::create_write(), 0, t).unwrap();
+            fs.write(fd, 8192, t).unwrap();
+            fs.close(fd, t).unwrap();
+            fs.unlink("/bench", 0, t).unwrap();
+        });
+    });
+    g.bench_function("path_lookup_cached", |b| {
+        let mut fs = Fs::new(FsParams::bsd42()).unwrap();
+        fs.set_trace_enabled(false);
+        fs.mkdir("/a", 0, 0).unwrap();
+        fs.mkdir("/a/b", 0, 0).unwrap();
+        let fd = fs.open("/a/b/target", OpenFlags::create_write(), 0, 0).unwrap();
+        fs.close(fd, 0).unwrap();
+        b.iter(|| fs.stat("/a/b/target", 1).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_cache_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_engine");
+    let cfg = CacheConfig {
+        cache_bytes: 4 << 20,
+        block_size: 4096,
+        write_policy: WritePolicy::DelayedWrite,
+        ..CacheConfig::default()
+    };
+    g.bench_function("lru_access_hot", |b| {
+        let mut cache = BlockCache::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.read(
+                BlockId {
+                    file: FileId(i % 8),
+                    block: i % 64,
+                },
+                i,
+            );
+        });
+    });
+    g.bench_function("lru_access_streaming", |b| {
+        let mut cache = BlockCache::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            cache.read(
+                BlockId {
+                    file: FileId(1),
+                    block: i, // Never reused: constant eviction.
+                },
+                i,
+            );
+        });
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = small_trace();
+    let cfg = CacheConfig::default();
+    let events = cachesim::replay_events(&trace, &cfg);
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("replay_events_expand", |b| {
+        b.iter(|| cachesim::replay_events(&trace, &cfg))
+    });
+    g.bench_function("simulate_400k", |b| {
+        b.iter(|| cachesim::Simulator::run_events(&events, &cfg))
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let trace = small_trace();
+    let mut g = c.benchmark_group("analysis");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("session_reconstruction", |b| b.iter(|| trace.sessions()));
+    let sessions = trace.sessions();
+    g.bench_function("sequentiality", |b| {
+        b.iter(|| fsanalysis::SequentialityReport::analyze(&sessions))
+    });
+    g.bench_function("lifetimes", |b| {
+        b.iter(|| fsanalysis::LifetimeAnalysis::analyze(&trace))
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.bench_function("generate_0.05h_a5", |b| {
+        b.iter(|| {
+            generate(&WorkloadConfig {
+                profile: MachineProfile::ucbarpa(),
+                seed: 3,
+                duration_hours: 0.05,
+                ..WorkloadConfig::default()
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_simstat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simstat");
+    g.bench_function("log_histogram_insert", |b| {
+        let mut h = LogHistogram::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.add(i >> 33);
+        });
+    });
+    g.bench_function("distribution_query", |b| {
+        let mut d = Distribution::new();
+        for i in 0..100_000u64 {
+            d.add(i * 37 % 10_000, 1);
+        }
+        b.iter(|| d.fraction_le(5_000));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_bsdfs,
+    bench_cache_engine,
+    bench_simulator,
+    bench_analysis,
+    bench_workload,
+    bench_simstat
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment regeneration benchmarks: one target per table/figure of
+//! the paper, each timing the full driver on a standard trace set.
+//!
+//! These double as the benchmark form of the reproduction harness (the
+//! `repro` binary prints the same rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bsdtrace::{experiments, ReproConfig, TraceSet};
+
+fn standard_set() -> TraceSet {
+    TraceSet::generate(&ReproConfig {
+        hours: 0.2,
+        seed: 1985,
+    })
+    .expect("trace set")
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let set = standard_set();
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1_selected_results", |b| {
+        b.iter(|| experiments::table1::run(&set))
+    });
+    g.bench_function("table3_overall_statistics", |b| {
+        b.iter(|| experiments::table3::run(&set))
+    });
+    g.bench_function("table4_system_activity", |b| {
+        b.iter(|| experiments::table4::run(&set))
+    });
+    g.bench_function("table5_sequentiality", |b| {
+        b.iter(|| experiments::table5::run(&set))
+    });
+    g.bench_function("fig1_run_lengths", |b| b.iter(|| experiments::fig1::run(&set)));
+    g.bench_function("fig2_file_sizes", |b| b.iter(|| experiments::fig2::run(&set)));
+    g.bench_function("fig3_open_times", |b| b.iter(|| experiments::fig3::run(&set)));
+    g.bench_function("fig4_lifetimes", |b| b.iter(|| experiments::fig4::run(&set)));
+    g.bench_function("gaps_section31", |b| b.iter(|| experiments::gaps::run(&set)));
+    g.bench_function("table6_fig5_cache_size_policy", |b| {
+        b.iter(|| experiments::table6::run(&set))
+    });
+    g.bench_function("table7_fig6_block_size", |b| {
+        b.iter(|| experiments::table7::run(&set))
+    });
+    g.bench_function("fig7_paging", |b| b.iter(|| experiments::fig7::run(&set)));
+    g.bench_function("residency_section62", |b| {
+        b.iter(|| experiments::residency::run(&set))
+    });
+    g.bench_function("comparisons_section64", |b| {
+        b.iter(|| experiments::comparisons::run(&set))
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_generation");
+    g.sample_size(10);
+    g.bench_function("all_three_traces_0.1h", |b| {
+        b.iter(|| {
+            TraceSet::generate(&ReproConfig {
+                hours: 0.1,
+                seed: 5,
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,429 @@
+//! Cylinder-group block and fragment allocation.
+//!
+//! The data region is divided into cylinder groups, each with its own
+//! fragment bitmap and allocation rotor, as in FFS. Full blocks are
+//! aligned runs of `frags_per_block` fragments; small allocations take a
+//! shorter run of fragments that never crosses a block boundary —
+//! mirroring the FFS rule that lets small files occupy less than a full
+//! block on disk (the property Section 6.3 of the paper notes composes
+//! well with a fixed-block-size cache).
+
+use crate::error::{FsError, FsResult};
+
+/// A fragment bitmap for one cylinder group.
+#[derive(Debug, Clone)]
+struct Group {
+    /// One bit per fragment; `true` = allocated.
+    bits: Vec<u64>,
+    nfrags: u64,
+    free: u64,
+    /// Next block index to start searching from (in blocks).
+    rotor: u64,
+}
+
+impl Group {
+    fn new(nfrags: u64) -> Self {
+        Group {
+            bits: vec![0; nfrags.div_ceil(64) as usize],
+            nfrags,
+            free: nfrags,
+            rotor: 0,
+        }
+    }
+
+    fn get(&self, i: u64) -> bool {
+        self.bits[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    fn set(&mut self, i: u64, v: bool) {
+        let w = (i / 64) as usize;
+        let m = 1u64 << (i % 64);
+        let was = self.bits[w] & m != 0;
+        if v {
+            self.bits[w] |= m;
+        } else {
+            self.bits[w] &= !m;
+        }
+        match (was, v) {
+            (false, true) => self.free -= 1,
+            (true, false) => self.free += 1,
+            _ => {}
+        }
+    }
+
+    /// Returns the first offset within block-window `b` (of `fpb` frags)
+    /// holding `k` consecutive free fragments, if any.
+    fn find_run_in_block(&self, b: u64, fpb: u32, k: u32) -> Option<u64> {
+        let base = b * fpb as u64;
+        if base + fpb as u64 > self.nfrags {
+            return None;
+        }
+        let mut run = 0u32;
+        for off in 0..fpb {
+            if self.get(base + off as u64) {
+                run = 0;
+            } else {
+                run += 1;
+                if run == k {
+                    return Some(base + (off + 1 - k) as u64);
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` if any fragment in block-window `b` is allocated.
+    fn block_partially_used(&self, b: u64, fpb: u32) -> bool {
+        let base = b * fpb as u64;
+        (0..fpb).any(|off| self.get(base + off as u64))
+    }
+}
+
+/// Fragment allocator over the data region.
+#[derive(Debug, Clone)]
+pub struct FragAllocator {
+    fpb: u32,
+    data_start: u64,
+    frags_per_group: u64,
+    groups: Vec<Group>,
+}
+
+impl FragAllocator {
+    /// Creates an allocator for a data region of `data_frags` fragments
+    /// starting at absolute fragment address `data_start`, split into
+    /// `cyl_groups` groups.
+    ///
+    /// Each group is rounded down to whole blocks; leftover fragments at
+    /// the end of the region are unused, as in a real mkfs.
+    pub fn new(fpb: u32, data_start: u64, data_frags: u64, cyl_groups: u32) -> Self {
+        let per_group = data_frags / cyl_groups as u64 / fpb as u64 * fpb as u64;
+        assert!(per_group >= fpb as u64, "cylinder group too small");
+        let groups = (0..cyl_groups).map(|_| Group::new(per_group)).collect();
+        FragAllocator {
+            fpb,
+            data_start,
+            frags_per_group: per_group,
+            groups,
+        }
+    }
+
+    /// Fragments per full block.
+    pub fn frags_per_block(&self) -> u32 {
+        self.fpb
+    }
+
+    /// Total free fragments across all groups.
+    pub fn free_frags(&self) -> u64 {
+        self.groups.iter().map(|g| g.free).sum()
+    }
+
+    /// Total fragments managed.
+    pub fn total_frags(&self) -> u64 {
+        self.frags_per_group * self.groups.len() as u64
+    }
+
+    fn addr(&self, group: usize, local: u64) -> u64 {
+        self.data_start + group as u64 * self.frags_per_group + local
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let rel = addr
+            .checked_sub(self.data_start)
+            .expect("address below data region");
+        let g = (rel / self.frags_per_group) as usize;
+        assert!(g < self.groups.len(), "address beyond data region");
+        (g, rel % self.frags_per_group)
+    }
+
+    /// Allocates a run of `k` fragments (`1..=frags_per_block`) that does
+    /// not cross a block boundary, preferring `pref_group`.
+    ///
+    /// Full-block requests take only fully free blocks. Sub-block
+    /// requests prefer partially used blocks, keeping whole blocks free
+    /// for large files (FFS's fragment packing).
+    pub fn alloc(&mut self, pref_group: u32, k: u32) -> FsResult<u64> {
+        assert!(k >= 1 && k <= self.fpb, "extent size out of range");
+        let ngroups = self.groups.len();
+        for gi in 0..ngroups {
+            let g = (pref_group as usize + gi) % ngroups;
+            if let Some(addr) = self.alloc_in_group(g, k) {
+                return Ok(addr);
+            }
+        }
+        Err(FsError::NoSpace)
+    }
+
+    fn alloc_in_group(&mut self, gi: usize, k: u32) -> Option<u64> {
+        let blocks = self.frags_per_group / self.fpb as u64;
+        let rotor = self.groups[gi].rotor;
+        // Pass 1 (sub-block requests only): pack into partially used blocks.
+        if k < self.fpb {
+            for bi in 0..blocks {
+                let b = (rotor + bi) % blocks;
+                let g = &self.groups[gi];
+                if g.block_partially_used(b, self.fpb) {
+                    if let Some(local) = g.find_run_in_block(b, self.fpb, k) {
+                        return Some(self.take(gi, b, local, k));
+                    }
+                }
+            }
+        }
+        // Pass 2: any block with room.
+        for bi in 0..blocks {
+            let b = (rotor + bi) % blocks;
+            if let Some(local) = self.groups[gi].find_run_in_block(b, self.fpb, k) {
+                return Some(self.take(gi, b, local, k));
+            }
+        }
+        None
+    }
+
+    fn take(&mut self, gi: usize, block: u64, local: u64, k: u32) -> u64 {
+        let g = &mut self.groups[gi];
+        for i in 0..k as u64 {
+            debug_assert!(!g.get(local + i), "double allocation");
+            g.set(local + i, true);
+        }
+        g.rotor = block;
+        self.addr(gi, local)
+    }
+
+    /// Frees a run of `k` fragments starting at absolute address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any fragment was already free —
+    /// double frees are file system bugs.
+    pub fn free(&mut self, addr: u64, k: u32) {
+        let (gi, local) = self.locate(addr);
+        let g = &mut self.groups[gi];
+        for i in 0..k as u64 {
+            debug_assert!(g.get(local + i), "double free at {}", addr + i);
+            g.set(local + i, false);
+        }
+    }
+
+    /// Tries to extend the run at `addr` from `old_k` to `new_k`
+    /// fragments in place (within the same block), returning `true` on
+    /// success — FFS's cheap path when a small file grows.
+    pub fn extend_in_place(&mut self, addr: u64, old_k: u32, new_k: u32) -> bool {
+        assert!(old_k >= 1 && new_k > old_k && new_k <= self.fpb);
+        let (gi, local) = self.locate(addr);
+        // The extension must stay inside the block containing the run.
+        let block_base = local / self.fpb as u64 * self.fpb as u64;
+        if local - block_base + new_k as u64 > self.fpb as u64 {
+            return false;
+        }
+        let g = &mut self.groups[gi];
+        for i in old_k as u64..new_k as u64 {
+            if g.get(local + i) {
+                return false;
+            }
+        }
+        for i in old_k as u64..new_k as u64 {
+            g.set(local + i, true);
+        }
+        true
+    }
+
+    /// The group an absolute fragment address belongs to.
+    pub fn group_of(&self, addr: u64) -> u32 {
+        self.locate(addr).0 as u32
+    }
+
+    /// `true` if every fragment of the run is currently allocated (for
+    /// consistency checks).
+    pub fn is_allocated(&self, addr: u64, k: u32) -> bool {
+        let (gi, local) = self.locate(addr);
+        (0..k as u64).all(|i| self.groups[gi].get(local + i))
+    }
+}
+
+/// Inode number allocator: a bitmap with a rotor.
+#[derive(Debug, Clone)]
+pub struct InoAllocator {
+    bits: Vec<u64>,
+    ninodes: u32,
+    free: u32,
+    rotor: u32,
+}
+
+impl InoAllocator {
+    /// Creates an allocator for inodes `2..ninodes` (0 is the null inode,
+    /// 1 is historically reserved).
+    pub fn new(ninodes: u32) -> Self {
+        let mut a = InoAllocator {
+            bits: vec![0; (ninodes as usize).div_ceil(64)],
+            ninodes,
+            free: ninodes,
+            rotor: 2,
+        };
+        a.mark(0);
+        a.mark(1);
+        a
+    }
+
+    fn mark(&mut self, ino: u32) {
+        let w = (ino / 64) as usize;
+        let m = 1u64 << (ino % 64);
+        debug_assert!(self.bits[w] & m == 0);
+        self.bits[w] |= m;
+        self.free -= 1;
+    }
+
+    fn is_set(&self, ino: u32) -> bool {
+        self.bits[(ino / 64) as usize] >> (ino % 64) & 1 == 1
+    }
+
+    /// Allocates a free inode number.
+    pub fn alloc(&mut self) -> FsResult<u32> {
+        if self.free == 0 {
+            return Err(FsError::NoInodes);
+        }
+        for i in 0..self.ninodes {
+            let ino = 2 + (self.rotor.wrapping_add(i).wrapping_sub(2)) % (self.ninodes - 2);
+            if !self.is_set(ino) {
+                self.mark(ino);
+                self.rotor = ino + 1;
+                if self.rotor >= self.ninodes {
+                    self.rotor = 2;
+                }
+                return Ok(ino);
+            }
+        }
+        Err(FsError::NoInodes)
+    }
+
+    /// Releases an inode number.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on double free.
+    pub fn release(&mut self, ino: u32) {
+        debug_assert!(ino >= 2, "cannot free reserved inode {ino}");
+        let w = (ino / 64) as usize;
+        let m = 1u64 << (ino % 64);
+        debug_assert!(self.bits[w] & m != 0, "double inode free {ino}");
+        self.bits[w] &= !m;
+        self.free += 1;
+    }
+
+    /// Number of free inodes.
+    pub fn free_count(&self) -> u32 {
+        self.free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc4() -> FragAllocator {
+        // data_start 16, 64 data frags, 2 groups of 32, fpb 4.
+        FragAllocator::new(4, 16, 64, 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let a = alloc4();
+        assert_eq!(a.total_frags(), 64);
+        assert_eq!(a.free_frags(), 64);
+        assert_eq!(a.frags_per_block(), 4);
+    }
+
+    #[test]
+    fn full_block_is_aligned() {
+        let mut a = alloc4();
+        for _ in 0..16 {
+            let addr = a.alloc(0, 4).unwrap();
+            assert_eq!((addr - 16) % 4, 0, "block at {addr} not aligned");
+        }
+        assert_eq!(a.free_frags(), 0);
+        assert_eq!(a.alloc(0, 4), Err(FsError::NoSpace));
+    }
+
+    #[test]
+    fn fragments_pack_into_partial_blocks() {
+        let mut a = alloc4();
+        let x = a.alloc(0, 1).unwrap();
+        let y = a.alloc(0, 1).unwrap();
+        // Both fragments land in the same block window.
+        assert_eq!((x - 16) / 4, (y - 16) / 4);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn fragments_do_not_cross_block_boundary() {
+        let mut a = alloc4();
+        let x = a.alloc(0, 3).unwrap();
+        let y = a.alloc(0, 3).unwrap();
+        for addr in [x, y] {
+            let local = addr - 16;
+            assert_eq!(local / 4, (local + 2) / 4, "run crosses block boundary");
+        }
+    }
+
+    #[test]
+    fn free_makes_space_reusable() {
+        let mut a = alloc4();
+        let mut addrs = Vec::new();
+        while let Ok(addr) = a.alloc(0, 4) {
+            addrs.push(addr);
+        }
+        for &addr in &addrs {
+            a.free(addr, 4);
+        }
+        assert_eq!(a.free_frags(), 64);
+        assert!(a.alloc(0, 4).is_ok());
+    }
+
+    #[test]
+    fn extend_in_place_success_and_failure() {
+        let mut a = alloc4();
+        let x = a.alloc(0, 1).unwrap();
+        assert!(a.extend_in_place(x, 1, 2));
+        assert!(a.is_allocated(x, 2));
+        // Block the next fragment, then extension must fail.
+        let y = a.alloc(0, 1).unwrap();
+        assert_eq!(y, x + 2); // Packed right after.
+        assert!(!a.extend_in_place(x, 2, 3));
+        // At the block edge extension also fails.
+        let z = a.alloc(0, 3).unwrap();
+        let local = z - 16;
+        assert_eq!(local % 4, 0); // Starts a fresh block.
+        assert!(a.extend_in_place(z, 3, 4)); // Room to grow to 4.
+    }
+
+    #[test]
+    fn spills_to_next_group_when_full() {
+        let mut a = alloc4();
+        // Fill group 0 (32 frags = 8 blocks).
+        for _ in 0..8 {
+            a.alloc(0, 4).unwrap();
+        }
+        let addr = a.alloc(0, 4).unwrap();
+        assert_eq!(a.group_of(addr), 1);
+    }
+
+    #[test]
+    fn prefers_requested_group() {
+        let mut a = alloc4();
+        let addr = a.alloc(1, 4).unwrap();
+        assert_eq!(a.group_of(addr), 1);
+    }
+
+    #[test]
+    fn ino_allocator_basics() {
+        let mut a = InoAllocator::new(8);
+        assert_eq!(a.free_count(), 6); // 0 and 1 reserved.
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            let ino = a.alloc().unwrap();
+            assert!((2..8).contains(&ino));
+            assert!(seen.insert(ino));
+        }
+        assert_eq!(a.alloc(), Err(FsError::NoInodes));
+        a.release(5);
+        assert_eq!(a.alloc().unwrap(), 5);
+    }
+}

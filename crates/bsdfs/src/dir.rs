@@ -1,0 +1,165 @@
+//! Directory entry format.
+//!
+//! Directories are regular files whose data blocks hold fixed-size
+//! 32-byte entries: a 4-byte inode number, a 1-byte name length, and up
+//! to 27 bytes of name. A zero inode number marks a free slot. (Real
+//! 4.2 BSD uses variable-length records; fixed slots keep the on-disk
+//! walk simple while preserving what matters here — directories consume
+//! data blocks that are read and written through the buffer cache.)
+
+use crate::error::{FsError, FsResult};
+use crate::inode::Ino;
+
+/// Size of one directory entry slot in bytes.
+pub const DIRENT_SIZE: usize = 32;
+
+/// Maximum file name length in bytes.
+pub const MAX_NAME: usize = DIRENT_SIZE - 5;
+
+/// A parsed directory entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dirent {
+    /// The inode the name refers to.
+    pub ino: Ino,
+    /// The component name.
+    pub name: String,
+}
+
+/// Validates a single path component.
+pub fn check_name(name: &str) -> FsResult<()> {
+    if name.is_empty() || name == "." || name == ".." {
+        return Err(FsError::BadPath);
+    }
+    if name.len() > MAX_NAME {
+        return Err(FsError::NameTooLong);
+    }
+    if name.contains('/') || name.contains('\0') {
+        return Err(FsError::BadPath);
+    }
+    Ok(())
+}
+
+/// Serializes an entry into a 32-byte slot.
+///
+/// # Panics
+///
+/// Panics if the name is longer than [`MAX_NAME`]; callers must validate
+/// with [`check_name`] first.
+pub fn pack(ino: Ino, name: &str) -> [u8; DIRENT_SIZE] {
+    assert!(name.len() <= MAX_NAME, "name too long for slot");
+    let mut b = [0u8; DIRENT_SIZE];
+    b[0..4].copy_from_slice(&ino.0.to_le_bytes());
+    b[4] = name.len() as u8;
+    b[5..5 + name.len()].copy_from_slice(name.as_bytes());
+    b
+}
+
+/// Parses a 32-byte slot; `None` for free slots or malformed names.
+pub fn unpack(slot: &[u8]) -> Option<Dirent> {
+    if slot.len() < DIRENT_SIZE {
+        return None;
+    }
+    let ino = u32::from_le_bytes([slot[0], slot[1], slot[2], slot[3]]);
+    if ino == 0 {
+        return None;
+    }
+    let len = slot[4] as usize;
+    if len > MAX_NAME {
+        return None;
+    }
+    let name = std::str::from_utf8(&slot[5..5 + len]).ok()?.to_string();
+    Some(Dirent {
+        ino: Ino(ino),
+        name,
+    })
+}
+
+/// Scans a directory data buffer for `name`, returning the matching
+/// entry's byte offset and inode.
+pub fn find_in_block(data: &[u8], base_offset: u64, name: &str) -> Option<(u64, Ino)> {
+    for (i, slot) in data.chunks_exact(DIRENT_SIZE).enumerate() {
+        if let Some(e) = unpack(slot) {
+            if e.name == name {
+                return Some((base_offset + (i * DIRENT_SIZE) as u64, e.ino));
+            }
+        }
+    }
+    None
+}
+
+/// Scans a directory data buffer for a free slot, returning its offset.
+pub fn free_slot_in_block(data: &[u8], base_offset: u64) -> Option<u64> {
+    for (i, slot) in data.chunks_exact(DIRENT_SIZE).enumerate() {
+        let ino = u32::from_le_bytes([slot[0], slot[1], slot[2], slot[3]]);
+        if ino == 0 {
+            return Some(base_offset + (i * DIRENT_SIZE) as u64);
+        }
+    }
+    None
+}
+
+/// Collects every live entry in a directory data buffer.
+pub fn entries_in_block(data: &[u8]) -> Vec<Dirent> {
+    data.chunks_exact(DIRENT_SIZE).filter_map(unpack).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let slot = pack(Ino(42), "hello.c");
+        let e = unpack(&slot).unwrap();
+        assert_eq!(e.ino, Ino(42));
+        assert_eq!(e.name, "hello.c");
+    }
+
+    #[test]
+    fn free_slot_unpacks_to_none() {
+        assert!(unpack(&[0u8; DIRENT_SIZE]).is_none());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(check_name("ok.txt").is_ok());
+        assert!(check_name("").is_err());
+        assert!(check_name(".").is_err());
+        assert!(check_name("..").is_err());
+        assert!(check_name("a/b").is_err());
+        assert!(check_name("a\0b").is_err());
+        assert_eq!(check_name(&"x".repeat(MAX_NAME + 1)), Err(FsError::NameTooLong));
+        assert!(check_name(&"x".repeat(MAX_NAME)).is_ok());
+    }
+
+    #[test]
+    fn find_and_free_slot() {
+        let mut data = vec![0u8; DIRENT_SIZE * 4];
+        data[0..DIRENT_SIZE].copy_from_slice(&pack(Ino(10), "a"));
+        data[DIRENT_SIZE * 2..DIRENT_SIZE * 3].copy_from_slice(&pack(Ino(11), "b"));
+
+        let (off, ino) = find_in_block(&data, 1000, "b").unwrap();
+        assert_eq!(off, 1000 + 2 * DIRENT_SIZE as u64);
+        assert_eq!(ino, Ino(11));
+        assert!(find_in_block(&data, 0, "zzz").is_none());
+
+        // First free slot is index 1.
+        assert_eq!(free_slot_in_block(&data, 0), Some(DIRENT_SIZE as u64));
+
+        let entries = entries_in_block(&data);
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn max_len_name_roundtrip() {
+        let name = "n".repeat(MAX_NAME);
+        let e = unpack(&pack(Ino(1), &name)).unwrap();
+        assert_eq!(e.name, name);
+    }
+
+    #[test]
+    #[should_panic(expected = "name too long")]
+    fn pack_oversized_panics() {
+        let _ = pack(Ino(1), &"n".repeat(MAX_NAME + 1));
+    }
+}

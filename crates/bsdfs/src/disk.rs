@@ -1,0 +1,168 @@
+//! The simulated disk: flat fragment-addressed storage with transfer
+//! accounting.
+//!
+//! The disk stores real bytes. It is addressed in *fragments* (the FFS
+//! allocation unit); an extent is a contiguous run of fragments that
+//! never crosses a block boundary, matching FFS's rule that a file's
+//! partial tail block occupies adjacent fragments of one block.
+
+/// Counters of physical disk activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of read operations (one per extent transfer).
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl DiskStats {
+    /// Total read plus write operations.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A flat in-memory disk addressed in fragments.
+///
+/// Fragment 0 is reserved (it holds the superblock copy) so that fragment
+/// address 0 can serve as the null pointer in inodes, as in FFS.
+#[derive(Debug)]
+pub struct Disk {
+    frag_size: u32,
+    data: Vec<u8>,
+    stats: DiskStats,
+}
+
+impl Disk {
+    /// Creates a disk of `total_frags` fragments of `frag_size` bytes.
+    ///
+    /// The backing store is zero-filled lazily by the allocator
+    /// (`vec![0; n]` maps pages on demand).
+    pub fn new(frag_size: u32, total_frags: u64) -> Self {
+        let len = (frag_size as u64 * total_frags) as usize;
+        Disk {
+            frag_size,
+            data: vec![0; len],
+            stats: DiskStats::default(),
+        }
+    }
+
+    /// Fragment size in bytes.
+    pub fn frag_size(&self) -> u32 {
+        self.frag_size
+    }
+
+    /// Total fragments on the disk.
+    pub fn total_frags(&self) -> u64 {
+        self.data.len() as u64 / self.frag_size as u64
+    }
+
+    fn range(&self, frag: u64, nfrags: u32) -> std::ops::Range<usize> {
+        let start = (frag * self.frag_size as u64) as usize;
+        let end = start + (nfrags as u64 * self.frag_size as u64) as usize;
+        assert!(
+            end <= self.data.len(),
+            "disk access out of range: frag {frag} + {nfrags}"
+        );
+        start..end
+    }
+
+    /// Reads an extent into `out` (one physical read operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the extent lies outside the disk or `out` is not exactly
+    /// the extent length — both indicate file system bugs, not user
+    /// errors.
+    pub fn read_extent(&mut self, frag: u64, nfrags: u32, out: &mut [u8]) {
+        let r = self.range(frag, nfrags);
+        assert_eq!(out.len(), r.len(), "read buffer size mismatch");
+        out.copy_from_slice(&self.data[r]);
+        self.stats.reads += 1;
+        self.stats.bytes_read += out.len() as u64;
+    }
+
+    /// Writes an extent from `src` (one physical write operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Disk::read_extent`].
+    pub fn write_extent(&mut self, frag: u64, nfrags: u32, src: &[u8]) {
+        let r = self.range(frag, nfrags);
+        assert_eq!(src.len(), r.len(), "write buffer size mismatch");
+        self.data[r].copy_from_slice(src);
+        self.stats.writes += 1;
+        self.stats.bytes_written += src.len() as u64;
+    }
+
+    /// Physical transfer counters.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Raw view of an extent without charging an I/O (for tests and
+    /// consistency checks only).
+    pub fn peek(&self, frag: u64, nfrags: u32) -> &[u8] {
+        let start = (frag * self.frag_size as u64) as usize;
+        let end = start + (nfrags as u64 * self.frag_size as u64) as usize;
+        &self.data[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_accounting() {
+        let mut d = Disk::new(1024, 16);
+        let src = vec![0xabu8; 2048];
+        d.write_extent(4, 2, &src);
+        let mut out = vec![0u8; 2048];
+        d.read_extent(4, 2, &mut out);
+        assert_eq!(out, src);
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 2048);
+        assert_eq!(s.bytes_written, 2048);
+        assert_eq!(s.total_ops(), 2);
+    }
+
+    #[test]
+    fn fresh_disk_reads_zero() {
+        let mut d = Disk::new(512, 8);
+        let mut out = vec![0xffu8; 512];
+        d.read_extent(3, 1, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn peek_does_not_charge_io() {
+        let mut d = Disk::new(512, 8);
+        d.write_extent(1, 1, &vec![7u8; 512]);
+        let before = d.stats();
+        assert_eq!(d.peek(1, 1)[0], 7);
+        assert_eq!(d.stats(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let mut d = Disk::new(512, 8);
+        let mut out = vec![0u8; 512];
+        d.read_extent(8, 1, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let mut d = Disk::new(512, 8);
+        let mut out = vec![0u8; 100];
+        d.read_extent(0, 1, &mut out);
+    }
+}

@@ -1,0 +1,82 @@
+//! File system error codes, in the spirit of Unix errno values.
+
+use std::fmt;
+
+/// Result alias for file system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// Errors returned by the system call layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsError {
+    /// A path component does not exist (`ENOENT`).
+    NotFound,
+    /// The file already exists and exclusive creation was requested
+    /// (`EEXIST`).
+    Exists,
+    /// A non-directory appeared where a directory was required
+    /// (`ENOTDIR`).
+    NotDir,
+    /// A directory appeared where a file was required (`EISDIR`).
+    IsDir,
+    /// The directory is not empty (`ENOTEMPTY`).
+    NotEmpty,
+    /// A file descriptor is not open (`EBADF`).
+    BadFd,
+    /// The operation conflicts with the descriptor's open mode (`EACCES`).
+    BadMode,
+    /// No free data fragments remain (`ENOSPC`).
+    NoSpace,
+    /// No free inodes remain (`ENOSPC` for inodes).
+    NoInodes,
+    /// A path component exceeds the name length limit (`ENAMETOOLONG`).
+    NameTooLong,
+    /// The path is empty or otherwise malformed (`EINVAL`).
+    BadPath,
+    /// The file would exceed the maximum mappable size (`EFBIG`).
+    FileTooBig,
+    /// An argument was out of range (`EINVAL`).
+    InvalidArg,
+    /// The directory has no room for another entry and cannot grow.
+    DirFull,
+    /// Attempt to unlink or modify a directory through a file call
+    /// (`EPERM`).
+    NotPermitted,
+    /// An internal consistency check failed; indicates a bug.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::Exists => write!(f, "file exists"),
+            FsError::NotDir => write!(f, "not a directory"),
+            FsError::IsDir => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::BadFd => write!(f, "bad file descriptor"),
+            FsError::BadMode => write!(f, "operation not permitted by open mode"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::NoInodes => write!(f, "no free inodes"),
+            FsError::NameTooLong => write!(f, "file name too long"),
+            FsError::BadPath => write!(f, "malformed path"),
+            FsError::FileTooBig => write!(f, "file too large"),
+            FsError::InvalidArg => write!(f, "invalid argument"),
+            FsError::DirFull => write!(f, "directory full"),
+            FsError::NotPermitted => write!(f, "operation not permitted"),
+            FsError::Corrupt(what) => write!(f, "file system corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert!(FsError::Corrupt("bitmap").to_string().contains("bitmap"));
+    }
+}

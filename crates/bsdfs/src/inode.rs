@@ -1,0 +1,422 @@
+//! On-disk inodes and the in-core inode table.
+//!
+//! Inodes are 128-byte on-disk records holding twelve direct extent
+//! pointers plus single- and double-indirect block pointers, all at
+//! fragment resolution as in FFS: every file block except possibly the
+//! last is a full block; the last may be a shorter fragment run, with its
+//! length implied by the file size.
+//!
+//! The in-core [`InodeTable`] mirrors the 4.2 BSD inode table: open files
+//! hold references, and recently used unreferenced inodes stay cached
+//! (the paper's Section 3.2 notes UNIX "maintains a main-memory cache for
+//! the i-nodes of all open files and many recently-used ones").
+
+use std::collections::HashMap;
+
+/// An inode number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ino(pub u32);
+
+/// The root directory's inode number (2, by Unix convention).
+pub const ROOT_INO: Ino = Ino(2);
+
+/// Number of direct extent pointers per inode.
+pub const NDIRECT: usize = 12;
+
+/// Size of one on-disk inode record in bytes.
+pub const INODE_SIZE: usize = 128;
+
+/// The type of file an inode describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileType {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+/// An in-memory inode (deserialized on-disk record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// File type.
+    pub itype: FileType,
+    /// Link count (directory entries referencing this inode).
+    pub nlink: u16,
+    /// File size in bytes.
+    pub size: u64,
+    /// Generation-unique trace file id: never reused even when the inode
+    /// number is, so lifetime analyses can tell recreations apart.
+    pub fid: u64,
+    /// Last access time (ms).
+    pub atime: u64,
+    /// Last modification time (ms).
+    pub mtime: u64,
+    /// Inode change time (ms).
+    pub ctime: u64,
+    /// Direct extent pointers: absolute fragment addresses (0 = none).
+    pub direct: [u32; NDIRECT],
+    /// Single-indirect block pointer (fragment address of a full block of
+    /// `u32` pointers; 0 = none).
+    pub indirect: u32,
+    /// Double-indirect block pointer (0 = none).
+    pub dindirect: u32,
+}
+
+impl Inode {
+    /// Creates an empty inode of the given type.
+    pub fn empty(itype: FileType, fid: u64, now_ms: u64) -> Self {
+        Inode {
+            itype,
+            nlink: 0,
+            size: 0,
+            fid,
+            atime: now_ms,
+            mtime: now_ms,
+            ctime: now_ms,
+            direct: [0; NDIRECT],
+            indirect: 0,
+            dindirect: 0,
+        }
+    }
+
+    /// Serializes to the 128-byte on-disk record.
+    pub fn to_bytes(&self) -> [u8; INODE_SIZE] {
+        let mut b = [0u8; INODE_SIZE];
+        let t: u16 = match self.itype {
+            FileType::Regular => 1,
+            FileType::Directory => 2,
+        };
+        b[0..2].copy_from_slice(&t.to_le_bytes());
+        b[2..4].copy_from_slice(&self.nlink.to_le_bytes());
+        b[4..12].copy_from_slice(&self.size.to_le_bytes());
+        b[12..20].copy_from_slice(&self.fid.to_le_bytes());
+        b[20..28].copy_from_slice(&self.atime.to_le_bytes());
+        b[28..36].copy_from_slice(&self.mtime.to_le_bytes());
+        b[36..44].copy_from_slice(&self.ctime.to_le_bytes());
+        for (i, &d) in self.direct.iter().enumerate() {
+            b[44 + i * 4..48 + i * 4].copy_from_slice(&d.to_le_bytes());
+        }
+        b[92..96].copy_from_slice(&self.indirect.to_le_bytes());
+        b[96..100].copy_from_slice(&self.dindirect.to_le_bytes());
+        b
+    }
+
+    /// Deserializes from an on-disk record; `None` if the slot is free
+    /// (type field 0) or malformed.
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < INODE_SIZE {
+            return None;
+        }
+        let word = |r: std::ops::Range<usize>| -> u64 {
+            let mut x = [0u8; 8];
+            x.copy_from_slice(&b[r]);
+            u64::from_le_bytes(x)
+        };
+        let t = u16::from_le_bytes([b[0], b[1]]);
+        let itype = match t {
+            1 => FileType::Regular,
+            2 => FileType::Directory,
+            _ => return None,
+        };
+        let mut direct = [0u32; NDIRECT];
+        for (i, d) in direct.iter_mut().enumerate() {
+            *d = u32::from_le_bytes([
+                b[44 + i * 4],
+                b[45 + i * 4],
+                b[46 + i * 4],
+                b[47 + i * 4],
+            ]);
+        }
+        Some(Inode {
+            itype,
+            nlink: u16::from_le_bytes([b[2], b[3]]),
+            size: word(4..12),
+            fid: word(12..20),
+            atime: word(20..28),
+            mtime: word(28..36),
+            ctime: word(36..44),
+            direct,
+            indirect: u32::from_le_bytes([b[92], b[93], b[94], b[95]]),
+            dindirect: u32::from_le_bytes([b[96], b[97], b[98], b[99]]),
+        })
+    }
+
+    /// `true` for directories.
+    pub fn is_dir(&self) -> bool {
+        self.itype == FileType::Directory
+    }
+}
+
+/// Statistics for the in-core inode table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InodeTableStats {
+    /// Lookups satisfied from the table.
+    pub hits: u64,
+    /// Lookups that required a disk read.
+    pub misses: u64,
+}
+
+impl InodeTableStats {
+    /// Hit ratio in `[0, 1]`; `0.0` when no lookups occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    inode: Inode,
+    refs: u32,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// The in-core inode table: referenced inodes plus an LRU cache of
+/// recently used unreferenced ones.
+pub struct InodeTable {
+    capacity: usize,
+    slots: HashMap<Ino, Slot>,
+    seq: u64,
+    stats: InodeTableStats,
+}
+
+impl InodeTable {
+    /// Creates a table caching up to `capacity` unreferenced inodes.
+    pub fn new(capacity: usize) -> Self {
+        InodeTable {
+            capacity: capacity.max(1),
+            slots: HashMap::new(),
+            seq: 0,
+            stats: InodeTableStats::default(),
+        }
+    }
+
+    /// Looks up an inode, bumping its recency. Counts a hit or miss.
+    pub fn get(&mut self, ino: Ino) -> Option<&Inode> {
+        self.seq += 1;
+        match self.slots.get_mut(&ino) {
+            Some(s) => {
+                s.last_used = self.seq;
+                self.stats.hits += 1;
+                Some(&s.inode)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up an inode mutably without touching hit/miss counters
+    /// (for updates following a counted `get`).
+    pub fn get_mut(&mut self, ino: Ino) -> Option<&mut Inode> {
+        self.seq += 1;
+        let seq = self.seq;
+        self.slots.get_mut(&ino).map(|s| {
+            s.last_used = seq;
+            s.dirty = true;
+            &mut s.inode
+        })
+    }
+
+    /// Inserts an inode read from disk (or newly created). Returns
+    /// dirty inodes evicted to make room, which the caller must write
+    /// back.
+    pub fn insert(&mut self, ino: Ino, inode: Inode, dirty: bool) -> Vec<(Ino, Inode)> {
+        self.seq += 1;
+        self.slots.insert(
+            ino,
+            Slot {
+                inode,
+                refs: 0,
+                dirty,
+                last_used: self.seq,
+            },
+        );
+        self.evict_excess()
+    }
+
+    fn evict_excess(&mut self) -> Vec<(Ino, Inode)> {
+        let mut out = Vec::new();
+        while self.slots.len() > self.capacity {
+            // Evict the least recently used unreferenced slot.
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| s.refs == 0)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&ino, _)| ino);
+            match victim {
+                Some(ino) => {
+                    let s = self.slots.remove(&ino).expect("victim exists");
+                    if s.dirty {
+                        out.push((ino, s.inode));
+                    }
+                }
+                None => break, // Everything referenced; allow overflow.
+            }
+        }
+        out
+    }
+
+    /// Increments the reference count (file opened).
+    pub fn incref(&mut self, ino: Ino) {
+        if let Some(s) = self.slots.get_mut(&ino) {
+            s.refs += 1;
+        }
+    }
+
+    /// Decrements the reference count (file closed). Returns the new
+    /// count.
+    pub fn decref(&mut self, ino: Ino) -> u32 {
+        match self.slots.get_mut(&ino) {
+            Some(s) => {
+                debug_assert!(s.refs > 0, "decref of unreferenced inode");
+                s.refs = s.refs.saturating_sub(1);
+                s.refs
+            }
+            None => 0,
+        }
+    }
+
+    /// Current reference count.
+    pub fn refs(&self, ino: Ino) -> u32 {
+        self.slots.get(&ino).map(|s| s.refs).unwrap_or(0)
+    }
+
+    /// Removes an inode (file deleted); it is not written back.
+    pub fn remove(&mut self, ino: Ino) {
+        self.slots.remove(&ino);
+    }
+
+    /// Drains the dirty flags, returning all dirty inodes for writeback.
+    pub fn take_dirty(&mut self) -> Vec<(Ino, Inode)> {
+        let mut out = Vec::new();
+        for (&ino, s) in self.slots.iter_mut() {
+            if s.dirty {
+                s.dirty = false;
+                out.push((ino, s.inode.clone()));
+            }
+        }
+        out.sort_by_key(|&(ino, _)| ino);
+        out
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> InodeTableStats {
+        self.stats
+    }
+
+    /// Number of cached slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(fid: u64) -> Inode {
+        let mut i = Inode::empty(FileType::Regular, fid, 1000);
+        i.size = fid * 100;
+        i.direct[0] = 42;
+        i.nlink = 1;
+        i
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut i = node(7);
+        i.indirect = 99;
+        i.dindirect = 100;
+        i.direct = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+        let b = i.to_bytes();
+        let back = Inode::from_bytes(&b).unwrap();
+        assert_eq!(back, i);
+    }
+
+    #[test]
+    fn free_slot_deserializes_to_none() {
+        assert!(Inode::from_bytes(&[0u8; INODE_SIZE]).is_none());
+        assert!(Inode::from_bytes(&[0u8; 10]).is_none());
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let i = Inode::empty(FileType::Directory, 1, 0);
+        let back = Inode::from_bytes(&i.to_bytes()).unwrap();
+        assert!(back.is_dir());
+    }
+
+    #[test]
+    fn table_hit_miss_accounting() {
+        let mut t = InodeTable::new(4);
+        assert!(t.get(Ino(5)).is_none());
+        t.insert(Ino(5), node(1), false);
+        assert!(t.get(Ino(5)).is_some());
+        let s = t.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_returns_dirty() {
+        let mut t = InodeTable::new(2);
+        t.insert(Ino(1), node(1), true);
+        t.insert(Ino(2), node(2), false);
+        t.get(Ino(1)); // Make ino 2 the LRU.
+        let evicted = t.insert(Ino(3), node(3), false);
+        assert!(evicted.is_empty()); // Ino 2 was clean.
+        assert!(t.slots.contains_key(&Ino(1)));
+        assert!(!t.slots.contains_key(&Ino(2)));
+
+        let evicted = t.insert(Ino(4), node(4), false);
+        // Now ino 1 (dirty) is evicted and must be written back.
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, Ino(1));
+    }
+
+    #[test]
+    fn referenced_inodes_are_not_evicted() {
+        let mut t = InodeTable::new(1);
+        t.insert(Ino(1), node(1), true);
+        t.incref(Ino(1));
+        let evicted = t.insert(Ino(2), node(2), false);
+        // Ino 1 is pinned; ino 2 (unreferenced LRU) goes instead.
+        assert!(evicted.is_empty());
+        assert!(t.slots.contains_key(&Ino(1)));
+        assert_eq!(t.refs(Ino(1)), 1);
+        assert_eq!(t.decref(Ino(1)), 0);
+    }
+
+    #[test]
+    fn take_dirty_clears_flags() {
+        let mut t = InodeTable::new(4);
+        t.insert(Ino(1), node(1), false);
+        t.get_mut(Ino(1)).unwrap().size = 999; // Marks dirty.
+        let d = t.take_dirty();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.size, 999);
+        assert!(t.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn remove_discards_without_writeback() {
+        let mut t = InodeTable::new(4);
+        t.insert(Ino(1), node(1), true);
+        t.remove(Ino(1));
+        assert!(t.take_dirty().is_empty());
+        assert!(t.is_empty());
+    }
+}

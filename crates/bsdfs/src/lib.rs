@@ -1,0 +1,68 @@
+//! An in-memory 4.2 BSD-style fast file system with logical-level tracer
+//! hooks.
+//!
+//! This crate is the *substrate* the reproduced paper's tracer ran on: a
+//! file system in the style of the Berkeley Fast File System (McKusick et
+//! al., 1984) exposing a Unix-flavored system call layer. It exists so
+//! that synthetic workloads exercise a real storage stack — path lookup
+//! through directory blocks, inode I/O, block/fragment allocation, and a
+//! buffer cache — and so the tracer can hook the exact seven events of
+//! Table II where the 4.2 BSD kernel hooks sat.
+//!
+//! Architecture, bottom up:
+//!
+//! * [`disk`] — a flat in-memory "disk" addressed in fragments, counting
+//!   physical transfers.
+//! * [`alloc`] — a cylinder-group block/fragment allocator over a frag
+//!   bitmap; small files occupy only the fragments they need.
+//! * [`inode`] — on-disk inodes (12 direct + single + double indirect
+//!   pointers at fragment resolution) with byte-level serialization, plus
+//!   the in-core inode table with reference counts.
+//! * [`buf`] — the buffer cache: variable-size buffers keyed by fragment
+//!   address, LRU replacement, write-through / flush-back / delayed-write
+//!   policies, and hit/miss accounting (the `bsdfs` counterpart of the
+//!   paper's Section 6 cache, but fed by *all* traffic including inodes
+//!   and directories — the basis of the Section 6.4 comparison against
+//!   Leffler's measurements).
+//! * [`dir`] — directory blocks holding fixed-size entries.
+//! * [`fs`] — the [`Fs`] system call layer: `open`, `close`, `read`,
+//!   `write`, `lseek`, `creat`, `unlink`, `truncate`, `mkdir`, `stat`,
+//!   `execve`, `sync`, with a [`tracer::Tracer`] recording Table II
+//!   events.
+//!
+//! Simulated time is supplied by the caller on every call (`now_ms`); the
+//! crate never reads a real clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use bsdfs::{Fs, FsParams, OpenFlags};
+//!
+//! let mut fs = Fs::new(FsParams::small()).unwrap();
+//! fs.mkdir("/tmp", 0, 0).unwrap();
+//! let fd = fs.open("/tmp/a.out", OpenFlags::create_write(), 0, 10).unwrap();
+//! fs.write(fd, 12, 10).unwrap();
+//! fs.close(fd, 15).unwrap();
+//! assert_eq!(fs.stat("/tmp/a.out", 20).unwrap().size, 12);
+//! let trace = fs.take_trace();
+//! assert_eq!(trace.len(), 2); // create + close
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod buf;
+pub mod dir;
+pub mod disk;
+mod error;
+pub mod fs;
+pub mod inode;
+mod params;
+pub mod tracer;
+
+pub use buf::{BufCacheStats, BufWritePolicy};
+pub use error::{FsError, FsResult};
+pub use fs::{Fd, Fs, FsStats, OpenFlags, SeekFrom, Stat};
+pub use inode::{FileType, Ino};
+pub use params::FsParams;

@@ -1,0 +1,218 @@
+//! Property-based tests: the file system against a trivial model.
+
+use std::collections::HashMap;
+
+use bsdfs::{Fs, FsError, FsParams, OpenFlags, SeekFrom};
+use proptest::prelude::*;
+
+/// One step of a random single-file workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u8),
+    OpenRead(u8),
+    Write(u8, Vec<u8>),
+    Read(u8, u16),
+    Seek(u8, u32),
+    Close(u8),
+    Unlink(u8),
+    Truncate(u8, u32),
+    Sync,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::Create),
+        (0u8..4).prop_map(Op::OpenRead),
+        (0u8..4, prop::collection::vec(any::<u8>(), 0..3000)).prop_map(|(f, d)| Op::Write(f, d)),
+        (0u8..4, 0u16..5000).prop_map(|(f, n)| Op::Read(f, n)),
+        (0u8..4, 0u32..10_000).prop_map(|(f, p)| Op::Seek(f, p)),
+        (0u8..4).prop_map(Op::Close),
+        (0u8..4).prop_map(Op::Unlink),
+        (0u8..4, 0u32..10_000).prop_map(|(f, l)| Op::Truncate(f, l)),
+        Just(Op::Sync),
+    ]
+}
+
+/// Model state per file slot.
+#[derive(Default)]
+struct Model {
+    /// Path → content, for files that currently exist.
+    files: HashMap<String, Vec<u8>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The file system agrees with a HashMap model under arbitrary
+    /// create/write/read/seek/truncate/unlink/close/sync interleavings,
+    /// and its structural invariants hold afterwards.
+    #[test]
+    fn fs_matches_model(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let mut fs = Fs::new(FsParams::small()).unwrap();
+        let mut model = Model::default();
+        // Open descriptors per slot: (fd, path, pos, writable).
+        let mut open: HashMap<u8, (bsdfs::Fd, String, u64, bool)> = HashMap::new();
+        let mut now = 0u64;
+        for op in ops {
+            now += 10;
+            match op {
+                Op::Create(slot) => {
+                    if open.contains_key(&slot) { continue; }
+                    let path = format!("/f{slot}");
+                    let fd = fs.open(&path, OpenFlags::create_write(), 0, now).unwrap();
+                    model.files.insert(path.clone(), Vec::new());
+                    open.insert(slot, (fd, path, 0, true));
+                }
+                Op::OpenRead(slot) => {
+                    if open.contains_key(&slot) { continue; }
+                    let path = format!("/f{slot}");
+                    match fs.open(&path, OpenFlags::read_only(), 0, now) {
+                        Ok(fd) => {
+                            prop_assert!(model.files.contains_key(&path));
+                            open.insert(slot, (fd, path, 0, false));
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.files.contains_key(&path));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+                Op::Write(slot, data) => {
+                    let Some((fd, path, pos, writable)) = open.get_mut(&slot) else { continue };
+                    if !*writable {
+                        prop_assert_eq!(fs.write_bytes(*fd, &data, now), Err(FsError::BadMode));
+                        continue;
+                    }
+                    fs.write_bytes(*fd, &data, now).unwrap();
+                    let content = model.files.get_mut(path).expect("open file exists in model");
+                    let p = *pos as usize;
+                    if content.len() < p + data.len() {
+                        content.resize(p + data.len(), 0);
+                    }
+                    content[p..p + data.len()].copy_from_slice(&data);
+                    *pos += data.len() as u64;
+                }
+                Op::Read(slot, n) => {
+                    let Some((fd, path, pos, writable)) = open.get_mut(&slot) else { continue };
+                    if *writable {
+                        // create_write descriptors are write-only.
+                        prop_assert_eq!(fs.read(*fd, n as u64, now), Err(FsError::BadMode));
+                        continue;
+                    }
+                    let mut buf = vec![0u8; n as usize];
+                    let got = fs.read_into(*fd, &mut buf, now).unwrap();
+                    let content = &model.files[path];
+                    let p = (*pos as usize).min(content.len());
+                    let expect = &content[p..(p + n as usize).min(content.len())];
+                    prop_assert_eq!(got as usize, expect.len());
+                    prop_assert_eq!(&buf[..expect.len()], expect);
+                    *pos += got;
+                }
+                Op::Seek(slot, p) => {
+                    let Some((fd, _, pos, _)) = open.get_mut(&slot) else { continue };
+                    let got = fs.lseek(*fd, SeekFrom::Set(p as u64), now).unwrap();
+                    prop_assert_eq!(got, p as u64);
+                    *pos = p as u64;
+                }
+                Op::Close(slot) => {
+                    let Some((fd, _, _, _)) = open.remove(&slot) else { continue };
+                    fs.close(fd, now).unwrap();
+                }
+                Op::Unlink(slot) => {
+                    let path = format!("/f{slot}");
+                    match fs.unlink(&path, 0, now) {
+                        Ok(()) => {
+                            prop_assert!(model.files.remove(&path).is_some());
+                            // Open descriptors on the unlinked file remain
+                            // usable; drop our model content tracking by
+                            // reinserting under a shadow name if open.
+                            if let Some((_, p, _, _)) = open.get(&slot) {
+                                // The open fd still refers to the old data;
+                                // model it under its path so reads check out.
+                                model.files.insert(p.clone(), Vec::new());
+                                // Simplification: force-close to avoid
+                                // tracking orphan contents.
+                                let (fd, _, _, _) = open.remove(&slot).unwrap();
+                                fs.close(fd, now).unwrap();
+                                model.files.remove(&path);
+                            }
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.files.contains_key(&path));
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+                Op::Truncate(slot, l) => {
+                    let path = format!("/f{slot}");
+                    let l = l as u64;
+                    match fs.truncate(&path, l, 0, now) {
+                        Ok(()) => {
+                            let c = model.files.get_mut(&path).expect("exists");
+                            prop_assert!(l <= c.len() as u64);
+                            c.truncate(l as usize);
+                        }
+                        Err(FsError::NotFound) => {
+                            prop_assert!(!model.files.contains_key(&path));
+                        }
+                        Err(FsError::InvalidArg) => {
+                            prop_assert!(l > model.files[&path].len() as u64);
+                        }
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+                Op::Sync => fs.sync(now),
+            }
+        }
+        for (_, (fd, _, _, _)) in open {
+            fs.close(fd, now + 10).unwrap();
+        }
+        // Structural invariants and final content agreement.
+        let live = fs.check_consistency().unwrap();
+        prop_assert_eq!(live as usize, model.files.len());
+        for (path, content) in &model.files {
+            let now2 = now + 100;
+            prop_assert_eq!(fs.stat(path, now2).unwrap().size, content.len() as u64);
+            let fd = fs.open(path, OpenFlags::read_only(), 0, now2).unwrap();
+            let mut buf = vec![0u8; content.len()];
+            prop_assert_eq!(fs.read_into(fd, &mut buf, now2).unwrap(), content.len() as u64);
+            prop_assert_eq!(&buf, content);
+            fs.close(fd, now2).unwrap();
+        }
+        // The trace of all this is well-formed.
+        let trace = fs.take_trace();
+        prop_assert_eq!(trace.sessions().anomalies(), 0);
+    }
+
+    /// Allocation conserves fragment counts under arbitrary alloc/free.
+    #[test]
+    fn allocator_conserves_frags(
+        sizes in prop::collection::vec(1u32..=4, 1..200),
+        frees in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        use bsdfs::alloc::FragAllocator;
+        let mut a = FragAllocator::new(4, 100, 512, 4);
+        let total = a.free_frags();
+        let mut live: Vec<(u64, u32)> = Vec::new();
+        let mut allocated = 0u64;
+        for (i, &k) in sizes.iter().enumerate() {
+            // Running out of space is fine under fragmentation.
+            if let Ok(addr) = a.alloc((i % 4) as u32, k) {
+                // No overlap with live extents.
+                for &(la, lk) in &live {
+                    let no_overlap = addr + k as u64 <= la || la + lk as u64 <= addr;
+                    prop_assert!(no_overlap, "overlap {addr}+{k} vs {la}+{lk}");
+                }
+                prop_assert!(a.is_allocated(addr, k));
+                live.push((addr, k));
+                allocated += k as u64;
+            }
+            prop_assert_eq!(a.free_frags(), total - allocated);
+            if *frees.get(i).unwrap_or(&false) && !live.is_empty() {
+                let (addr, k) = live.swap_remove(i % live.len());
+                a.free(addr, k);
+                allocated -= k as u64;
+            }
+        }
+    }
+}

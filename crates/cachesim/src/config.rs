@@ -1,0 +1,155 @@
+//! Simulation parameters.
+
+/// Write policy for dirty cache blocks (Section 6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Each modification writes the block straight to disk.
+    WriteThrough,
+    /// The cache is scanned at a fixed interval; blocks modified since
+    /// the last scan are written (the paper tries 30 s and 5 min).
+    FlushBack {
+        /// Scan interval in milliseconds.
+        interval_ms: u64,
+    },
+    /// Blocks are written only when ejected from the cache.
+    DelayedWrite,
+}
+
+impl WritePolicy {
+    /// The paper's four columns, in Table VI order.
+    pub const TABLE_VI: [WritePolicy; 4] = [
+        WritePolicy::WriteThrough,
+        WritePolicy::FlushBack { interval_ms: 30_000 },
+        WritePolicy::FlushBack { interval_ms: 300_000 },
+        WritePolicy::DelayedWrite,
+    ];
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            WritePolicy::WriteThrough => "write-through".to_string(),
+            WritePolicy::FlushBack { interval_ms } => {
+                if *interval_ms % 60_000 == 0 {
+                    format!("{} min flush", interval_ms / 60_000)
+                } else {
+                    format!("{} sec flush", interval_ms / 1000)
+                }
+            }
+            WritePolicy::DelayedWrite => "delayed write".to_string(),
+        }
+    }
+}
+
+/// Cache replacement policy.
+///
+/// The paper uses LRU; FIFO is provided as an ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// Least recently used (the paper's choice).
+    #[default]
+    Lru,
+    /// First in, first out (ablation).
+    Fifo,
+}
+
+/// How to bill runs from read-write opens, whose direction the
+/// no-read-write trace cannot determine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RwHandling {
+    /// Treat as writes (the dominant read-write use is appending).
+    #[default]
+    Write,
+    /// Treat as reads.
+    Read,
+    /// Bill both a read and a write access per block.
+    Both,
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Fixed block size in bytes.
+    pub block_size: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// Skip the disk read when a missing block is about to be entirely
+    /// overwritten (Section 6.1; the paper's simulator does this).
+    pub whole_block_elision: bool,
+    /// Drop blocks of deleted/overwritten files from the cache, dirty
+    /// ones without writing them (Section 6.2's delayed-write win).
+    pub invalidate_on_delete: bool,
+    /// Billing for read-write opens.
+    pub rw_handling: RwHandling,
+    /// Approximate program paging by a whole-file read per `execve`
+    /// (Figure 7).
+    pub simulate_paging: bool,
+}
+
+impl Default for CacheConfig {
+    /// The 4.2 BSD-like baseline: 400 kbyte cache, 4 kbyte blocks,
+    /// 30-second flush-back, LRU.
+    fn default() -> Self {
+        CacheConfig {
+            cache_bytes: 400 * 1024,
+            block_size: 4096,
+            write_policy: WritePolicy::FlushBack { interval_ms: 30_000 },
+            replacement: Replacement::Lru,
+            whole_block_elision: true,
+            invalidate_on_delete: true,
+            rw_handling: RwHandling::Write,
+            simulate_paging: false,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of whole blocks that fit in the cache (at least 1).
+    pub fn capacity_blocks(&self) -> u64 {
+        (self.cache_bytes / self.block_size).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_blocks_rounds_down() {
+        let c = CacheConfig {
+            cache_bytes: 10_000,
+            block_size: 4096,
+            ..CacheConfig::default()
+        };
+        assert_eq!(c.capacity_blocks(), 2);
+        let tiny = CacheConfig {
+            cache_bytes: 100,
+            block_size: 4096,
+            ..CacheConfig::default()
+        };
+        assert_eq!(tiny.capacity_blocks(), 1);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(WritePolicy::WriteThrough.name(), "write-through");
+        assert_eq!(
+            WritePolicy::FlushBack { interval_ms: 30_000 }.name(),
+            "30 sec flush"
+        );
+        assert_eq!(
+            WritePolicy::FlushBack { interval_ms: 300_000 }.name(),
+            "5 min flush"
+        );
+        assert_eq!(WritePolicy::DelayedWrite.name(), "delayed write");
+    }
+
+    #[test]
+    fn table_vi_order() {
+        assert_eq!(WritePolicy::TABLE_VI[0], WritePolicy::WriteThrough);
+        assert_eq!(WritePolicy::TABLE_VI[3], WritePolicy::DelayedWrite);
+    }
+}

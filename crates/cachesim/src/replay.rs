@@ -1,0 +1,495 @@
+//! Converting a logical trace into block accesses and replaying them.
+//!
+//! Each sequential run reconstructed from the trace is billed at the
+//! time of the `seek` or `close` that ended it (Section 3.1), split into
+//! block accesses of the configured size (Section 6.1: "we assumed that
+//! programs made requests in units of the cache block size").
+
+use fstrace::{AccessMode, FileId, Trace, TraceEvent};
+
+use crate::cache::{BlockCache, BlockId};
+use crate::config::{CacheConfig, RwHandling};
+use crate::metrics::CacheMetrics;
+
+/// One step of the replay, in time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// The file's size became known (an `open` recorded it).
+    SizeHint {
+        /// Event time (ms).
+        time_ms: u64,
+        /// The file.
+        file: FileId,
+        /// Size at open.
+        size: u64,
+    },
+    /// Bytes were transferred to or from a file.
+    Transfer {
+        /// Billing time (ms): the ending `seek`/`close`.
+        time_ms: u64,
+        /// The file.
+        file: FileId,
+        /// Starting byte offset.
+        offset: u64,
+        /// Length in bytes (positive).
+        len: u64,
+        /// `true` for writes.
+        write: bool,
+    },
+    /// The file was shortened (or emptied) in place.
+    TruncateTo {
+        /// Event time (ms).
+        time_ms: u64,
+        /// The file.
+        file: FileId,
+        /// New length in bytes.
+        new_len: u64,
+    },
+    /// The file was deleted.
+    Delete {
+        /// Event time (ms).
+        time_ms: u64,
+        /// The file.
+        file: FileId,
+    },
+}
+
+impl ReplayEvent {
+    fn time(&self) -> u64 {
+        match *self {
+            ReplayEvent::SizeHint { time_ms, .. }
+            | ReplayEvent::Transfer { time_ms, .. }
+            | ReplayEvent::TruncateTo { time_ms, .. }
+            | ReplayEvent::Delete { time_ms, .. } => time_ms,
+        }
+    }
+
+    /// Ordering priority within one timestamp: size hints land first,
+    /// then transfers, then truncations, then deletes — matching the
+    /// natural open → transfer → unlink sequence of a 10 ms tick.
+    fn priority(&self) -> u8 {
+        match self {
+            ReplayEvent::SizeHint { .. } => 0,
+            ReplayEvent::Transfer { .. } => 1,
+            ReplayEvent::TruncateTo { .. } => 2,
+            ReplayEvent::Delete { .. } => 3,
+        }
+    }
+}
+
+/// Expands a trace into time-ordered replay events under a configuration
+/// (the `rw_handling` and `simulate_paging` options affect the
+/// expansion).
+pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
+    let sessions = trace.sessions();
+    let mut events: Vec<ReplayEvent> = Vec::new();
+    for s in sessions.all() {
+        for r in &s.runs {
+            let time_ms = r.billed_at.as_ms();
+            match (s.mode, config.rw_handling) {
+                (AccessMode::ReadOnly, _) => events.push(ReplayEvent::Transfer {
+                    time_ms,
+                    file: s.file_id,
+                    offset: r.offset,
+                    len: r.len,
+                    write: false,
+                }),
+                (AccessMode::WriteOnly, _)
+                | (AccessMode::ReadWrite, RwHandling::Write) => {
+                    events.push(ReplayEvent::Transfer {
+                        time_ms,
+                        file: s.file_id,
+                        offset: r.offset,
+                        len: r.len,
+                        write: true,
+                    })
+                }
+                (AccessMode::ReadWrite, RwHandling::Read) => {
+                    events.push(ReplayEvent::Transfer {
+                        time_ms,
+                        file: s.file_id,
+                        offset: r.offset,
+                        len: r.len,
+                        write: false,
+                    })
+                }
+                (AccessMode::ReadWrite, RwHandling::Both) => {
+                    events.push(ReplayEvent::Transfer {
+                        time_ms,
+                        file: s.file_id,
+                        offset: r.offset,
+                        len: r.len,
+                        write: false,
+                    });
+                    events.push(ReplayEvent::Transfer {
+                        time_ms,
+                        file: s.file_id,
+                        offset: r.offset,
+                        len: r.len,
+                        write: true,
+                    });
+                }
+            }
+        }
+    }
+    for rec in trace.records() {
+        let time_ms = rec.time.as_ms();
+        match rec.event {
+            TraceEvent::Open {
+                file_id,
+                size,
+                created,
+                ..
+            } => {
+                events.push(ReplayEvent::SizeHint {
+                    time_ms,
+                    file: file_id,
+                    size,
+                });
+                if created {
+                    // Creation (or truncate-on-open) empties the file:
+                    // cached blocks of the old data are stale.
+                    events.push(ReplayEvent::TruncateTo {
+                        time_ms,
+                        file: file_id,
+                        new_len: 0,
+                    });
+                }
+            }
+            TraceEvent::Unlink { file_id, .. } => events.push(ReplayEvent::Delete {
+                time_ms,
+                file: file_id,
+            }),
+            TraceEvent::Truncate {
+                file_id, new_len, ..
+            } => events.push(ReplayEvent::TruncateTo {
+                time_ms,
+                file: file_id,
+                new_len,
+            }),
+            TraceEvent::Execve { file_id, size, .. } if config.simulate_paging && size > 0 => {
+                events.push(ReplayEvent::Transfer {
+                    time_ms,
+                    file: file_id,
+                    offset: 0,
+                    len: size,
+                    write: false,
+                });
+            }
+            _ => {}
+        }
+    }
+    events.sort_by_key(|e| (e.time(), e.priority()));
+    events
+}
+
+/// Incremental replay state: a cache plus the per-file size tracking
+/// needed for whole-block-overwrite detection.
+///
+/// [`Simulator::run_events`] drives this to completion; time-series
+/// measurements ([`crate::MissSeries`]) step it event by event.
+pub struct Replayer {
+    cache: BlockCache,
+    config: CacheConfig,
+    sizes: std::collections::HashMap<FileId, u64>,
+    end_time: u64,
+}
+
+impl Replayer {
+    /// Creates replay state for a configuration.
+    pub fn new(config: &CacheConfig) -> Self {
+        Replayer {
+            cache: BlockCache::new(config),
+            config: config.clone(),
+            sizes: std::collections::HashMap::new(),
+            end_time: 0,
+        }
+    }
+
+    /// Read access to the cache (metrics, contents).
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
+    }
+
+    /// Finalizes residency accounting and returns the metrics.
+    pub fn finish(mut self) -> CacheMetrics {
+        self.cache.finish(self.end_time);
+        self.cache.metrics
+    }
+
+    /// Applies one replay event.
+    pub fn step(&mut self, ev: &ReplayEvent) {
+        let bs = self.config.block_size;
+        let config = &self.config;
+        let cache = &mut self.cache;
+        let sizes = &mut self.sizes;
+        self.end_time = self.end_time.max(ev.time());
+        match *ev {
+                ReplayEvent::SizeHint { file, size, .. } => {
+                    let e = sizes.entry(file).or_insert(size);
+                    *e = (*e).max(size);
+                }
+                ReplayEvent::Transfer {
+                    time_ms,
+                    file,
+                    offset,
+                    len,
+                    write,
+                } => {
+                    if len == 0 {
+                        return;
+                    }
+                    let size = sizes.entry(file).or_insert(0);
+                    let end = offset + len;
+                    let old_size = *size;
+                    *size = old_size.max(end);
+                    for block in offset / bs..=(end - 1) / bs {
+                        let id = BlockId { file, block };
+                        if write {
+                            let bstart = block * bs;
+                            let bend = bstart + bs;
+                            let old_valid = old_size.saturating_sub(bstart).min(bs);
+                            let covered_hi = end.min(bend);
+                            // No fetch is needed when the write covers
+                            // every previously valid byte of the block
+                            // (including the trivial case of none).
+                            let whole =
+                                old_valid == 0 || (offset <= bstart && covered_hi >= bstart + old_valid);
+                            cache.write(id, whole, time_ms);
+                        } else {
+                            cache.read(id, time_ms);
+                        }
+                    }
+                }
+                ReplayEvent::TruncateTo {
+                    time_ms,
+                    file,
+                    new_len,
+                } => {
+                    let size = sizes.entry(file).or_insert(0);
+                    *size = (*size).min(new_len);
+                    if config.invalidate_on_delete {
+                        if new_len == 0 {
+                            cache.invalidate_file(file, time_ms);
+                        } else {
+                            cache.invalidate_beyond(file, new_len.div_ceil(bs), time_ms);
+                        }
+                    }
+                }
+                ReplayEvent::Delete { time_ms, file } => {
+                    sizes.remove(&file);
+                    if config.invalidate_on_delete {
+                        cache.invalidate_file(file, time_ms);
+                    }
+                }
+        }
+    }
+}
+
+/// The trace-driven simulator: expands a trace and replays it against a
+/// [`BlockCache`].
+pub struct Simulator;
+
+impl Simulator {
+    /// Runs one full simulation and returns its metrics.
+    pub fn run(trace: &Trace, config: &CacheConfig) -> CacheMetrics {
+        let events = replay_events(trace, config);
+        Self::run_events(&events, config)
+    }
+
+    /// Replays pre-expanded events (reusable across configurations that
+    /// share `rw_handling`/`simulate_paging`).
+    pub fn run_events(events: &[ReplayEvent], config: &CacheConfig) -> CacheMetrics {
+        let mut r = Replayer::new(config);
+        for ev in events {
+            r.step(ev);
+        }
+        r.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WritePolicy;
+    use fstrace::TraceBuilder;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            cache_bytes: 64 * 1024,
+            block_size: 4096,
+            write_policy: WritePolicy::DelayedWrite,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Whole-file write then delete: delayed-write never touches disk.
+    #[test]
+    fn temp_file_never_reaches_disk() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::WriteOnly, 0, true);
+        b.close(100, o, 12_000);
+        b.unlink(5_000, f, u);
+        let m = Simulator::run(&b.finish(), &cfg());
+        assert_eq!(m.logical_writes, 3); // Three 4 kB blocks.
+        assert_eq!(m.disk_reads, 0); // All whole-block writes.
+        assert_eq!(m.disk_writes, 0); // Dropped before any flush.
+        assert_eq!(m.dirty_blocks_never_written, 3);
+        assert_eq!(m.miss_ratio(), 0.0);
+    }
+
+    /// The same temp file under write-through pays for every block.
+    #[test]
+    fn temp_file_write_through() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::WriteOnly, 0, true);
+        b.close(100, o, 12_000);
+        b.unlink(5_000, f, u);
+        let mut config = cfg();
+        config.write_policy = WritePolicy::WriteThrough;
+        let m = Simulator::run(&b.finish(), &config);
+        assert_eq!(m.disk_writes, 3);
+        assert!((m.miss_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    /// Re-reading a file hits the cache.
+    #[test]
+    fn reread_hits() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        for t in [0u64, 1_000, 2_000] {
+            let o = b.open(t, f, u, AccessMode::ReadOnly, 8_192, false);
+            b.close(t + 100, o, 8_192);
+        }
+        let m = Simulator::run(&b.finish(), &cfg());
+        assert_eq!(m.logical_reads, 6);
+        assert_eq!(m.disk_reads, 2);
+        assert_eq!(m.read_hits, 4);
+    }
+
+    /// A partial overwrite of existing data must fetch the block.
+    #[test]
+    fn partial_overwrite_fetches() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        // File exists with 8 kB; overwrite bytes 1000..2000 in place.
+        let o = b.open(0, f, u, AccessMode::ReadWrite, 8_192, false);
+        b.seek(10, o, 0, 1_000);
+        b.close(20, o, 2_000);
+        let m = Simulator::run(&b.finish(), &cfg());
+        assert_eq!(m.logical_writes, 1);
+        assert_eq!(m.disk_reads, 1); // Read-modify-write fetch.
+    }
+
+    /// Appending to a file: the tail block beyond old EOF needs no fetch.
+    #[test]
+    fn append_beyond_eof_elides() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        // File is exactly two blocks; append one more block.
+        let o = b.open(0, f, u, AccessMode::ReadWrite, 8_192, false);
+        b.seek(10, o, 0, 8_192);
+        b.close(20, o, 12_288);
+        let m = Simulator::run(&b.finish(), &cfg());
+        assert_eq!(m.logical_writes, 1);
+        assert_eq!(m.disk_reads, 0);
+        assert_eq!(m.elided_fetches, 1);
+    }
+
+    /// Truncate-on-open (recreate) invalidates the old cached data.
+    #[test]
+    fn recreate_invalidates() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::WriteOnly, 0, true);
+        b.close(100, o, 4_096);
+        let o = b.open(10_000, f, u, AccessMode::WriteOnly, 0, true);
+        b.close(10_100, o, 4_096);
+        let m = Simulator::run(&b.finish(), &cfg());
+        // Both generations die in cache under delayed-write.
+        assert_eq!(m.disk_writes, 0);
+        assert_eq!(m.dirty_blocks_never_written, 1); // First generation.
+    }
+
+    /// Paging simulation adds execve reads (Figure 7).
+    #[test]
+    fn paging_mode_reads_programs() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        b.execve(0, f, u, 40_960);
+        let trace = b.finish();
+        let m = Simulator::run(&trace, &cfg());
+        assert_eq!(m.logical_reads, 0);
+        let mut config = cfg();
+        config.simulate_paging = true;
+        let m = Simulator::run(&trace, &config);
+        assert_eq!(m.logical_reads, 10);
+        assert_eq!(m.disk_reads, 10);
+    }
+
+    /// The 30 s flush-back writes dirty blocks that survive 30 s.
+    #[test]
+    fn flush_back_interval() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::WriteOnly, 0, true);
+        b.close(100, o, 4_096);
+        // Unrelated activity 31 s later triggers the scan.
+        let g = b.new_file_id();
+        let o = b.open(31_000, g, u, AccessMode::ReadOnly, 4_096, false);
+        b.close(31_100, o, 4_096);
+        let mut config = cfg();
+        config.write_policy = WritePolicy::FlushBack { interval_ms: 30_000 };
+        let m = Simulator::run(&b.finish(), &config);
+        assert_eq!(m.disk_writes, 1);
+    }
+
+    /// Larger caches never do more disk I/O on the same trace (LRU
+    /// inclusion property).
+    #[test]
+    fn bigger_cache_never_worse() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        // A working set that overflows the small cache.
+        for i in 0..32u64 {
+            let f = b.new_file_id();
+            let t = i * 1_000;
+            let o = b.open(t, f, u, AccessMode::ReadOnly, 8_192, false);
+            b.close(t + 100, o, 8_192);
+        }
+        // Re-read everything.
+        for i in 0..32u64 {
+            let f = fstrace::FileId(i);
+            let t = 100_000 + i * 1_000;
+            let o = b.open(t, f, u, AccessMode::ReadOnly, 8_192, false);
+            b.close(t + 100, o, 8_192);
+        }
+        let trace = b.finish();
+        let small = Simulator::run(
+            &trace,
+            &CacheConfig {
+                cache_bytes: 16 * 4096,
+                ..cfg()
+            },
+        );
+        let big = Simulator::run(
+            &trace,
+            &CacheConfig {
+                cache_bytes: 128 * 4096,
+                ..cfg()
+            },
+        );
+        assert!(big.disk_ios() <= small.disk_ios());
+        assert!(big.miss_ratio() < small.miss_ratio());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the block cache engine and the replay.
+
+use cachesim::{BlockCache, CacheConfig, Replacement, Simulator, WritePolicy};
+use fstrace::{AccessMode, FileId, TraceBuilder};
+use proptest::prelude::*;
+
+fn cfg(blocks: u64) -> CacheConfig {
+    CacheConfig {
+        cache_bytes: blocks * 4096,
+        block_size: 4096,
+        write_policy: WritePolicy::DelayedWrite,
+        ..CacheConfig::default()
+    }
+}
+
+/// A naive LRU model: a Vec ordered most-recent-first.
+struct NaiveLru {
+    cap: usize,
+    order: Vec<(u64, u64)>, // (file, block), MRU first.
+    hits: u64,
+    misses: u64,
+}
+
+impl NaiveLru {
+    fn access(&mut self, key: (u64, u64)) {
+        match self.order.iter().position(|&k| k == key) {
+            Some(i) => {
+                self.hits += 1;
+                let k = self.order.remove(i);
+                self.order.insert(0, k);
+            }
+            None => {
+                self.misses += 1;
+                self.order.insert(0, key);
+                if self.order.len() > self.cap {
+                    self.order.pop();
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The intrusive-list cache agrees with a naive LRU model on hits,
+    /// misses, and the full recency ordering.
+    #[test]
+    fn lru_matches_naive_model(
+        cap in 1u64..16,
+        accesses in prop::collection::vec((0u64..4, 0u64..24), 1..300),
+    ) {
+        let mut cache = BlockCache::new(&cfg(cap));
+        let mut model = NaiveLru { cap: cap as usize, order: Vec::new(), hits: 0, misses: 0 };
+        for (i, &(f, b)) in accesses.iter().enumerate() {
+            cache.read(
+                cachesim::BlockId { file: FileId(f), block: b },
+                i as u64,
+            );
+            model.access((f, b));
+        }
+        prop_assert_eq!(cache.metrics.read_hits, model.hits);
+        prop_assert_eq!(cache.metrics.disk_reads, model.misses);
+        let got: Vec<(u64, u64)> = cache
+            .contents_mru()
+            .iter()
+            .map(|id| (id.file.0, id.block))
+            .collect();
+        prop_assert_eq!(got, model.order);
+    }
+
+    /// Under FIFO, contents are the most recently inserted distinct keys
+    /// and hit counts still match a set-based model.
+    #[test]
+    fn fifo_hit_counts(
+        cap in 1u64..16,
+        accesses in prop::collection::vec((0u64..3, 0u64..16), 1..200),
+    ) {
+        let mut config = cfg(cap);
+        config.replacement = Replacement::Fifo;
+        let mut cache = BlockCache::new(&config);
+        let mut order: Vec<(u64, u64)> = Vec::new(); // Insertion order, newest first.
+        let mut hits = 0u64;
+        for (i, &(f, b)) in accesses.iter().enumerate() {
+            let key = (f, b);
+            if order.contains(&key) {
+                hits += 1;
+            } else {
+                order.insert(0, key);
+                if order.len() > cap as usize {
+                    order.pop();
+                }
+            }
+            cache.read(
+                cachesim::BlockId { file: FileId(f), block: b },
+                i as u64,
+            );
+        }
+        prop_assert_eq!(cache.metrics.read_hits, hits);
+    }
+
+    /// LRU inclusion: a larger cache never misses more on the same
+    /// access stream.
+    #[test]
+    fn lru_inclusion_property(
+        accesses in prop::collection::vec((0u64..4, 0u64..32), 1..400),
+        small in 1u64..8,
+        extra in 1u64..16,
+    ) {
+        let run = |cap: u64| {
+            let mut c = BlockCache::new(&cfg(cap));
+            for (i, &(f, b)) in accesses.iter().enumerate() {
+                c.read(cachesim::BlockId { file: FileId(f), block: b }, i as u64);
+            }
+            c.metrics.disk_reads
+        };
+        prop_assert!(run(small + extra) <= run(small));
+    }
+
+    /// Replay conservation: logical accesses equal the number of blocks
+    /// spanned by all runs, independent of cache configuration.
+    #[test]
+    fn replay_conserves_block_accesses(
+        files in prop::collection::vec((0u64..20_000u64, 1u64..40_000u64), 1..40),
+        cache_blocks in 1u64..64,
+    ) {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let mut expected = 0u64;
+        let bs = 4096u64;
+        for (i, &(offset, len)) in files.iter().enumerate() {
+            let f = b.new_file_id();
+            let t = i as u64 * 1000;
+            let size = offset + len;
+            let o = b.open(t, f, u, AccessMode::ReadOnly, size, false);
+            if offset > 0 {
+                b.seek(t + 10, o, 0, offset);
+            }
+            b.close(t + 20, o, size);
+            expected += (size - 1) / bs - offset / bs + 1;
+        }
+        let m = Simulator::run(&b.finish(), &cfg(cache_blocks));
+        prop_assert_eq!(m.logical_reads, expected);
+        prop_assert_eq!(m.logical_writes, 0);
+        // Disk reads are bounded by logical reads.
+        prop_assert!(m.disk_reads <= m.logical_reads);
+    }
+}

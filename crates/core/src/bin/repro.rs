@@ -1,0 +1,106 @@
+//! `repro`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--hours H] [--seed S]
+//!
+//! EXPERIMENT: all (default) | table1 | table3 | table4 | table5 |
+//!             fig1 | fig2 | fig3 | fig4 | gaps | table6 | table7 |
+//!             fig7 | residency | compare
+//! ```
+
+use bsdtrace::{experiments, ReproConfig, TraceSet};
+
+fn main() {
+    let mut which = "all".to_string();
+    let mut config = ReproConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hours" => {
+                config.hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"));
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [EXPERIMENT] [--hours H] [--seed S]\n\
+                     experiments: all table1 table3 table4 table5 fig1 fig2 fig3 fig4\n\
+                     \x20            gaps table6 table7 fig7 residency compare ablations server"
+                );
+                return;
+            }
+            other if !other.starts_with('-') => which = other.to_string(),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let needs_all_traces = matches!(
+        which.as_str(),
+        "all" | "table1" | "table3" | "table4" | "table5" | "fig1" | "fig2" | "fig3" | "fig4"
+            | "gaps" | "server"
+    );
+    eprintln!(
+        "generating {} trace(s), {} simulated hour(s), seed {} ...",
+        if needs_all_traces { 3 } else { 1 },
+        config.hours,
+        config.seed
+    );
+    let set = if needs_all_traces {
+        TraceSet::generate(&config)
+    } else {
+        TraceSet::generate_a5(&config)
+    }
+    .unwrap_or_else(|e| die(&format!("trace generation failed: {e}")));
+    for e in &set.entries {
+        eprintln!(
+            "  {}: {} records, {:.1} Mbytes transferred",
+            e.name,
+            e.out.trace.len(),
+            e.out.trace.summary().total_mbytes_transferred()
+        );
+    }
+    eprintln!();
+
+    let run_one = |name: &str| match name {
+        "table1" => println!("{}\n", experiments::table1::run(&set)),
+        "table3" => println!("{}\n", experiments::table3::run(&set)),
+        "table4" => println!("{}\n", experiments::table4::run(&set)),
+        "table5" => println!("{}\n", experiments::table5::run(&set)),
+        "fig1" => println!("{}", experiments::fig1::run(&set)),
+        "fig2" => println!("{}", experiments::fig2::run(&set)),
+        "fig3" => println!("{}\n", experiments::fig3::run(&set)),
+        "fig4" => println!("{}", experiments::fig4::run(&set)),
+        "gaps" => println!("{}\n", experiments::gaps::run(&set)),
+        "table6" => println!("{}\n", experiments::table6::run(&set)),
+        "table7" => println!("{}\n", experiments::table7::run(&set)),
+        "fig7" => println!("{}\n", experiments::fig7::run(&set)),
+        "residency" => println!("{}\n", experiments::residency::run(&set)),
+        "compare" => println!("{}\n", experiments::comparisons::run(&set)),
+        "ablations" => println!("{}\n", experiments::ablations::run(&set)),
+        "server" => println!("{}\n", experiments::server::run(&set)),
+        other => die(&format!("unknown experiment {other}")),
+    };
+
+    if which == "all" {
+        for name in [
+            "table1", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "gaps",
+            "table6", "table7", "fig7", "residency", "compare", "ablations", "server",
+        ] {
+            run_one(name);
+        }
+    } else {
+        run_one(&which);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(1);
+}

@@ -1,0 +1,139 @@
+//! ASCII rendering of cumulative-distribution figures.
+//!
+//! The paper's Figures 1–5 and 7 are cumulative curves; this module
+//! draws them as fixed-width ASCII charts so `repro` output shows the
+//! *shape*, not just the sampled grid.
+
+use std::fmt::Write as _;
+
+/// A named curve: (x, cumulative fraction in `[0, 1]`) points.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label.
+    pub label: String,
+    /// Points in increasing-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders one or more cumulative curves into an ASCII chart.
+///
+/// The x-axis is plotted on the rank of the supplied grid points (the
+/// paper's figures use mixed linear scales; rank spacing keeps every
+/// gridline visible). The y-axis is percent.
+///
+/// # Examples
+///
+/// ```
+/// use bsdtrace::chart::{render, Curve};
+///
+/// let c = Curve {
+///     label: "a5".into(),
+///     points: vec![(1.0, 0.1), (2.0, 0.6), (3.0, 0.9)],
+/// };
+/// let s = render("Demo", "seconds", &[c], &|x| format!("{x}"));
+/// assert!(s.contains("Demo"));
+/// assert!(s.contains("100%"));
+/// ```
+pub fn render(
+    title: &str,
+    x_name: &str,
+    curves: &[Curve],
+    fmt_x: &dyn Fn(f64) -> String,
+) -> String {
+    const HEIGHT: usize = 12; // Rows between 0% and 100%.
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    if curves.is_empty() || curves[0].points.is_empty() {
+        let _ = writeln!(out, "  (no data)");
+        return out;
+    }
+    let n = curves[0].points.len();
+    let width = n * 6;
+    let marks = ['*', 'o', '+', 'x', '#'];
+    // Grid of characters.
+    let mut grid = vec![vec![' '; width]; HEIGHT + 1];
+    for (ci, curve) in curves.iter().enumerate() {
+        let mark = marks[ci % marks.len()];
+        for (i, &(_, y)) in curve.points.iter().enumerate().take(n) {
+            let col = i * 6 + 3;
+            let row = ((1.0 - y.clamp(0.0, 1.0)) * HEIGHT as f64).round() as usize;
+            let row = row.min(HEIGHT);
+            if grid[row][col] == ' ' || grid[row][col] == mark {
+                grid[row][col] = mark;
+            } else {
+                grid[row][col] = '@'; // Curves overlap here.
+            }
+        }
+    }
+    for (r, rowline) in grid.iter().enumerate() {
+        let pct = 100.0 * (1.0 - r as f64 / HEIGHT as f64);
+        let line: String = rowline.iter().collect();
+        let _ = writeln!(out, "{pct:>4.0}% |{}", line.trim_end());
+    }
+    let _ = writeln!(out, "      +{}", "-".repeat(width));
+    // X labels, one per grid point, staggered over two lines.
+    let mut l1 = String::new();
+    let mut l2 = String::new();
+    for (i, &(x, _)) in curves[0].points.iter().enumerate().take(n) {
+        let label = fmt_x(x);
+        let target = if i % 2 == 0 { &mut l1 } else { &mut l2 };
+        while target.len() < i * 6 {
+            target.push(' ');
+        }
+        let _ = write!(target, "{label:<6}");
+    }
+    let _ = writeln!(out, "       {l1}");
+    if !l2.trim().is_empty() {
+        let _ = writeln!(out, "       {l2}");
+    }
+    let legend: Vec<String> = curves
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{} = {}", marks[i % marks.len()], c.label))
+        .collect();
+    let _ = writeln!(out, "       {x_name}   [{}; @ = overlap]", legend.join(", "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(label: &str, ys: &[f64]) -> Curve {
+        Curve {
+            label: label.into(),
+            points: ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_monotone_curve() {
+        let s = render(
+            "T",
+            "x",
+            &[curve("a", &[0.0, 0.25, 0.5, 0.75, 1.0])],
+            &|x| format!("{x:.0}"),
+        );
+        assert!(s.contains("100% |"));
+        assert!(s.contains("   0% |"));
+        assert!(s.contains("* = a"));
+        // The 100% row carries the final point's mark.
+        let top = s.lines().find(|l| l.starts_with(" 100%")).unwrap();
+        assert!(top.contains('*'));
+    }
+
+    #[test]
+    fn overlapping_curves_marked() {
+        let a = curve("a", &[0.5, 0.5]);
+        let b = curve("b", &[0.5, 1.0]);
+        let s = render("T", "x", &[a, b], &|x| format!("{x:.0}"));
+        assert!(s.contains('@'), "overlap marker missing:\n{s}");
+        assert!(s.contains("o = b"));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let s = render("T", "x", &[], &|x| format!("{x}"));
+        assert!(s.contains("no data"));
+    }
+}

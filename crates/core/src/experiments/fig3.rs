@@ -1,0 +1,68 @@
+//! Figure 3: distribution of times files were open.
+
+use std::fmt;
+
+use fsanalysis::OpenTimeAnalysis;
+
+use crate::chart::{render, Curve};
+use crate::report::{pct, Table};
+use crate::TraceSet;
+
+/// Seconds grid matching Figure 3's x-axis.
+pub const GRID_SECS: [f64; 8] = [0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0];
+
+/// Measured Figure 3 curves.
+pub struct Fig3 {
+    /// Trace names.
+    pub names: Vec<String>,
+    /// Open-time analyses per trace.
+    pub analyses: Vec<OpenTimeAnalysis>,
+}
+
+/// Computes the curves.
+pub fn run(set: &TraceSet) -> Fig3 {
+    Fig3 {
+        names: set.entries.iter().map(|e| e.name.clone()).collect(),
+        analyses: set
+            .entries
+            .iter()
+            .map(|e| OpenTimeAnalysis::analyze(&e.out.trace.sessions()))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers = vec!["open time".to_string()];
+        headers.extend(self.names.iter().cloned());
+        let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new("Figure 3. Cumulative % of files vs open time", &hrefs);
+        let mut analyses: Vec<OpenTimeAnalysis> = self.analyses.clone();
+        for &g in &GRID_SECS {
+            let mut row = vec![format!("{g} s")];
+            for a in analyses.iter_mut() {
+                row.push(pct(a.fraction_le_secs(g)));
+            }
+            t.row(row);
+        }
+        t.note("Paper: ~70-80% of files are open less than 0.5 second, ~90% less");
+        t.note("than 10 seconds; editor temporaries form the long tail.");
+        writeln!(f, "{t}")?;
+        let curves: Vec<Curve> = self
+            .names
+            .iter()
+            .zip(analyses.iter_mut())
+            .map(|(name, a)| Curve {
+                label: name.clone(),
+                points: GRID_SECS.iter().map(|&g| (g, a.fraction_le_secs(g))).collect(),
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            render("  cumulative % of files vs open time", "open time (s)", &curves, &|x| {
+                format!("{x}s")
+            })
+        )
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 4: cumulative distributions of file lifetimes.
+
+use std::fmt;
+
+use fsanalysis::LifetimeAnalysis;
+
+use crate::chart::{render, Curve};
+use crate::paper;
+use crate::report::{pct, Table};
+use crate::TraceSet;
+
+/// Seconds grid matching Figure 4's x-axis.
+pub const GRID_SECS: [f64; 9] = [3.0, 10.0, 30.0, 60.0, 120.0, 178.0, 182.0, 300.0, 500.0];
+
+/// Measured Figure 4 curves.
+pub struct Fig4 {
+    /// Trace names.
+    pub names: Vec<String>,
+    /// Lifetime analyses per trace.
+    pub analyses: Vec<LifetimeAnalysis>,
+    /// Fraction of lifetimes in the 179–181 s daemon spike, per trace.
+    pub spikes: Vec<f64>,
+}
+
+/// Computes the curves.
+pub fn run(set: &TraceSet) -> Fig4 {
+    let mut analyses: Vec<LifetimeAnalysis> = set
+        .entries
+        .iter()
+        .map(|e| LifetimeAnalysis::analyze(&e.out.trace))
+        .collect();
+    let spikes = analyses
+        .iter_mut()
+        .map(|a| a.fraction_of_files_between_secs(179.0, 181.0))
+        .collect();
+    Fig4 {
+        names: set.entries.iter().map(|e| e.name.clone()).collect(),
+        analyses,
+        spikes,
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut analyses: Vec<LifetimeAnalysis> = self.analyses.clone();
+        for (title, by_bytes) in [
+            ("Figure 4a. Cumulative % of new files vs lifetime", false),
+            ("Figure 4b. Cumulative % of new bytes vs lifetime", true),
+        ] {
+            let mut headers = vec!["lifetime".to_string()];
+            headers.extend(self.names.iter().cloned());
+            let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut t = Table::new(title, &hrefs);
+            for &g in &GRID_SECS {
+                let mut row = vec![format!("{g} s")];
+                for a in analyses.iter_mut() {
+                    let v = if by_bytes {
+                        a.fraction_of_bytes_le_secs(g)
+                    } else {
+                        a.fraction_of_files_le_secs(g)
+                    };
+                    row.push(pct(v));
+                }
+                t.row(row);
+            }
+            if !by_bytes {
+                let spikes: Vec<String> = self.spikes.iter().map(|&s| pct(s)).collect();
+                t.note(&format!(
+                    "Spike at 179-181 s (network status daemons): {} (paper: {:.0}-{:.0}%)",
+                    spikes.join(" / "),
+                    100.0 * paper::LIFETIME_DAEMON_SPIKE.0,
+                    100.0 * paper::LIFETIME_DAEMON_SPIKE.1
+                ));
+                t.note("Paper: most new files die within ~3 minutes of creation.");
+            } else {
+                t.note("Paper: 20-30% of new bytes die within 30 s, ~50% within 5 min.");
+            }
+            writeln!(f, "{t}")?;
+            if !by_bytes {
+                let curves: Vec<Curve> = self
+                    .names
+                    .iter()
+                    .zip(analyses.iter_mut())
+                    .map(|(name, a)| Curve {
+                        label: name.clone(),
+                        points: GRID_SECS
+                            .iter()
+                            .map(|&g| (g, a.fraction_of_files_le_secs(g)))
+                            .collect(),
+                    })
+                    .collect();
+                writeln!(
+                    f,
+                    "{}",
+                    render(
+                        "  cumulative % of new files vs lifetime (note the 180 s daemon jump)",
+                        "lifetime (s)",
+                        &curves,
+                        &|x| format!("{x}s")
+                    )
+                )?;
+            }
+        }
+        Ok(())
+    }
+}

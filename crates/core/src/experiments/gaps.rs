@@ -1,0 +1,54 @@
+//! Section 3.1: intervals between successive trace events for the same
+//! open file, which bound when transfers actually happened.
+
+use std::fmt;
+
+use fsanalysis::EventGapAnalysis;
+
+use crate::paper;
+use crate::report::{pct, Table};
+use crate::TraceSet;
+
+/// Measured event-gap fractions.
+pub struct Gaps {
+    /// Trace names.
+    pub names: Vec<String>,
+    /// Gap analyses per trace.
+    pub analyses: Vec<EventGapAnalysis>,
+}
+
+/// Computes the gap distributions.
+pub fn run(set: &TraceSet) -> Gaps {
+    Gaps {
+        names: set.entries.iter().map(|e| e.name.clone()).collect(),
+        analyses: set
+            .entries
+            .iter()
+            .map(|e| EventGapAnalysis::analyze(&e.out.trace))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Gaps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers = vec!["interval".to_string()];
+        headers.extend(self.names.iter().cloned());
+        headers.push("paper".to_string());
+        let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut t = Table::new(
+            "Section 3.1. Intervals between successive events for one open file",
+            &hrefs,
+        );
+        let mut analyses: Vec<EventGapAnalysis> = self.analyses.clone();
+        for &(secs, paper_frac) in &paper::EVENT_GAP_FRACTIONS {
+            let mut row = vec![format!("< {secs} s")];
+            for a in analyses.iter_mut() {
+                row.push(pct(a.fraction_le_secs(secs)));
+            }
+            row.push(pct(paper_frac));
+            t.row(row);
+        }
+        t.note("These bounds justify billing transfers at the next close/seek.");
+        write!(f, "{t}")
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment drivers: one module per table or figure of the paper.
+//!
+//! Every module exposes `run(&TraceSet) -> <Results>` where the results
+//! type carries the measured numbers and renders a report (with the
+//! paper's published values alongside) via `Display`.
+
+pub mod ablations;
+pub mod comparisons;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig7;
+pub mod gaps;
+pub mod residency;
+pub mod server;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;

@@ -1,0 +1,133 @@
+//! Table IV: system activity — users, active users, and throughput per
+//! active user.
+
+use std::fmt;
+
+use fsanalysis::ActivityAnalysis;
+
+use crate::paper;
+use crate::report::{f1, mean_sd, Table};
+use crate::TraceSet;
+
+/// Measured Table IV.
+pub struct Table4 {
+    /// Trace names in column order.
+    pub names: Vec<String>,
+    /// Activity analyses (10-minute and 10-second windows).
+    pub analyses: Vec<ActivityAnalysis>,
+}
+
+/// Computes the table (600 s and 10 s windows, as in the paper).
+pub fn run(set: &TraceSet) -> Table4 {
+    Table4 {
+        names: set.entries.iter().map(|e| e.name.clone()).collect(),
+        analyses: set
+            .entries
+            .iter()
+            .map(|e| ActivityAnalysis::analyze(&e.out.trace, &[600, 10]))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers = vec!["Measure"];
+        headers.extend(self.names.iter().map(String::as_str));
+        headers.push("paper a5");
+        let mut t = Table::new("Table IV. System activity", &headers);
+        let row = |label: &str, cells: Vec<String>, paper: String| {
+            let mut r = vec![label.to_string()];
+            r.extend(cells);
+            r.push(paper);
+            r
+        };
+        t.row(row(
+            "Average throughput (bytes/sec)",
+            self.analyses.iter().map(|a| f1(a.avg_throughput)).collect(),
+            String::new(),
+        ));
+        t.row(row(
+            "Total different users",
+            self.analyses
+                .iter()
+                .map(|a| a.total_users.to_string())
+                .collect(),
+            String::new(),
+        ));
+        t.row(row(
+            "Max active users (10 min)",
+            self.analyses
+                .iter()
+                .map(|a| a.windows[0].max_active.to_string())
+                .collect(),
+            String::new(),
+        ));
+        t.row(row(
+            "Avg active users (10 min)",
+            self.analyses
+                .iter()
+                .map(|a| {
+                    mean_sd(
+                        a.windows[0].avg_active(),
+                        a.windows[0].active_per_window.population_stddev(),
+                    )
+                })
+                .collect(),
+            mean_sd(
+                paper::TABLE_IV_ACTIVE_10MIN[0].0,
+                paper::TABLE_IV_ACTIVE_10MIN[0].1,
+            ),
+        ));
+        t.row(row(
+            "Throughput/active user B/s (10 min)",
+            self.analyses
+                .iter()
+                .map(|a| {
+                    mean_sd(
+                        a.windows[0].avg_throughput(),
+                        a.windows[0].throughput_per_active.population_stddev(),
+                    )
+                })
+                .collect(),
+            mean_sd(
+                paper::TABLE_IV_THROUGHPUT_10MIN[0].0,
+                paper::TABLE_IV_THROUGHPUT_10MIN[0].1,
+            ),
+        ));
+        t.row(row(
+            "Avg active users (10 sec)",
+            self.analyses
+                .iter()
+                .map(|a| {
+                    mean_sd(
+                        a.windows[1].avg_active(),
+                        a.windows[1].active_per_window.population_stddev(),
+                    )
+                })
+                .collect(),
+            mean_sd(
+                paper::TABLE_IV_ACTIVE_10SEC[0].0,
+                paper::TABLE_IV_ACTIVE_10SEC[0].1,
+            ),
+        ));
+        t.row(row(
+            "Throughput/active user B/s (10 sec)",
+            self.analyses
+                .iter()
+                .map(|a| {
+                    mean_sd(
+                        a.windows[1].avg_throughput(),
+                        a.windows[1].throughput_per_active.population_stddev(),
+                    )
+                })
+                .collect(),
+            mean_sd(
+                paper::TABLE_IV_THROUGHPUT_10SEC[0].0,
+                paper::TABLE_IV_THROUGHPUT_10SEC[0].1,
+            ),
+        ));
+        t.note("Paper: active users need only a few hundred bytes/second on average");
+        t.note("over ten-minute intervals, a few kbytes/second over ten-second bursts.");
+        write!(f, "{t}")
+    }
+}

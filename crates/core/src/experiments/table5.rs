@@ -1,0 +1,83 @@
+//! Table V: sequentiality of file access.
+
+use std::fmt;
+
+use fsanalysis::SequentialityReport;
+
+use crate::paper;
+use crate::report::{pct, Table};
+use crate::TraceSet;
+
+/// Measured Table V.
+pub struct Table5 {
+    /// Trace names in column order.
+    pub names: Vec<String>,
+    /// Reports in the same order.
+    pub reports: Vec<SequentialityReport>,
+}
+
+/// Computes the table.
+pub fn run(set: &TraceSet) -> Table5 {
+    Table5 {
+        names: set.entries.iter().map(|e| e.name.clone()).collect(),
+        reports: set
+            .entries
+            .iter()
+            .map(|e| SequentialityReport::analyze(&e.out.trace.sessions()))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut headers = vec!["Measure"];
+        headers.extend(self.names.iter().map(String::as_str));
+        headers.push("paper (a5/e3/c4)");
+        let mut t = Table::new("Table V. Data tends to be transferred sequentially", &headers);
+        let paper3 = |v: &[f64; 3]| format!("{:.0}/{:.0}/{:.0}%", v[0], v[1], v[2]);
+        let mut row = |label: &str, get: &dyn Fn(&SequentialityReport) -> f64, p: String| {
+            let mut r = vec![label.to_string()];
+            r.extend(self.reports.iter().map(|rep| pct(get(rep))));
+            r.push(p);
+            t.row(r);
+        };
+        row(
+            "Whole-file reads (% of read-only)",
+            &|r| r.read_only.whole_file_fraction(),
+            paper3(&paper::TABLE_V_WHOLE_READS_PCT),
+        );
+        row(
+            "Whole-file writes (% of write-only)",
+            &|r| r.write_only.whole_file_fraction(),
+            paper3(&paper::TABLE_V_WHOLE_WRITES_PCT),
+        );
+        row(
+            "Bytes in whole-file transfers",
+            &|r| r.whole_file_bytes_fraction(),
+            paper3(&paper::TABLE_V_WHOLE_BYTES_PCT),
+        );
+        row(
+            "Sequential read-only accesses",
+            &|r| r.read_only.sequential_fraction(),
+            paper3(&paper::TABLE_V_SEQ_RO_PCT),
+        );
+        row(
+            "Sequential write-only accesses",
+            &|r| r.write_only.sequential_fraction(),
+            paper3(&paper::TABLE_V_SEQ_WO_PCT),
+        );
+        row(
+            "Sequential read-write accesses",
+            &|r| r.read_write.sequential_fraction(),
+            paper3(&paper::TABLE_V_SEQ_RW_PCT),
+        );
+        row(
+            "Bytes transferred sequentially",
+            &|r| r.sequential_bytes_fraction(),
+            paper3(&paper::TABLE_V_SEQ_BYTES_PCT),
+        );
+        t.note("Only files opened for read-write access show significant");
+        t.note("non-sequential use (editor temporaries, mailbox status rewrites).");
+        write!(f, "{t}")
+    }
+}

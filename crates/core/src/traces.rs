@@ -1,0 +1,114 @@
+//! Standard trace generation shared by every experiment.
+
+use bsdfs::FsResult;
+use workload::{generate, GeneratedTrace, MachineProfile, WorkloadConfig};
+
+/// Reproduction parameters: how much simulated time to trace, and the
+/// master seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReproConfig {
+    /// Simulated hours per trace (the paper traced 2–3 days; one to a
+    /// few simulated hours at peak-hour intensity gives stable shapes).
+    pub hours: f64,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        ReproConfig {
+            hours: 1.0,
+            seed: 1985,
+        }
+    }
+}
+
+/// One generated trace with its name ("a5", "e3", "c4").
+pub struct TraceEntry {
+    /// Trace name as used in the paper's tables.
+    pub name: String,
+    /// Machine name ("Ucbarpa" …).
+    pub machine: String,
+    /// The generated trace and file system.
+    pub out: GeneratedTrace,
+}
+
+/// The three traces of the paper, regenerated.
+pub struct TraceSet {
+    /// Entries in paper order: a5, e3, c4.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl TraceSet {
+    /// Generates all three traces.
+    pub fn generate(config: &ReproConfig) -> FsResult<Self> {
+        let mut entries = Vec::new();
+        for profile in MachineProfile::all() {
+            let name = profile.trace_name.to_string();
+            let machine = profile.name.to_string();
+            let out = generate(&WorkloadConfig {
+                profile,
+                seed: config.seed,
+                duration_hours: config.hours,
+                ..WorkloadConfig::default()
+            })?;
+            entries.push(TraceEntry { name, machine, out });
+        }
+        Ok(TraceSet { entries })
+    }
+
+    /// Generates only the A5 trace (the Section 6 simulations use A5
+    /// alone: "only the results from the A5 trace are reported").
+    pub fn generate_a5(config: &ReproConfig) -> FsResult<Self> {
+        let profile = MachineProfile::ucbarpa();
+        let name = profile.trace_name.to_string();
+        let machine = profile.name.to_string();
+        let out = generate(&WorkloadConfig {
+            profile,
+            seed: config.seed,
+            duration_hours: config.hours,
+            ..WorkloadConfig::default()
+        })?;
+        Ok(TraceSet {
+            entries: vec![TraceEntry { name, machine, out }],
+        })
+    }
+
+    /// The A5 entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty (cannot happen for generated sets).
+    pub fn a5(&self) -> &TraceEntry {
+        &self.entries[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_three_named_traces() {
+        let set = TraceSet::generate(&ReproConfig {
+            hours: 0.05,
+            seed: 1,
+        })
+        .unwrap();
+        let names: Vec<&str> = set.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a5", "e3", "c4"]);
+        assert!(set.entries.iter().all(|e| !e.out.trace.is_empty()));
+    }
+
+    #[test]
+    fn a5_only_generation() {
+        let set = TraceSet::generate_a5(&ReproConfig {
+            hours: 0.05,
+            seed: 1,
+        })
+        .unwrap();
+        assert_eq!(set.entries.len(), 1);
+        assert_eq!(set.a5().name, "a5");
+        assert_eq!(set.a5().machine, "Ucbarpa");
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests: the analyzers against brute-force recomputation
+//! on randomly generated (but well-formed) traces.
+
+use fstrace::{AccessMode, Trace, TraceBuilder};
+use fsanalysis::{
+    ActivityAnalysis, FileSizeAnalysis, LifetimeAnalysis, RunLengthAnalysis,
+    SequentialityReport, UserAnalysis,
+};
+use proptest::prelude::*;
+
+/// One randomly shaped session: (user, open size, seek targets with
+/// advances, final advance, created).
+#[derive(Debug, Clone)]
+struct SessionSpec {
+    user: u32,
+    size: u64,
+    moves: Vec<(u64, u64)>, // (advance before seek, seek target)
+    final_advance: u64,
+    created: bool,
+    mode: u8,
+}
+
+fn arb_session() -> impl Strategy<Value = SessionSpec> {
+    (
+        0u32..6,
+        0u64..50_000,
+        prop::collection::vec((0u64..5_000, 0u64..50_000), 0..4),
+        0u64..5_000,
+        any::<bool>(),
+        0u8..3,
+    )
+        .prop_map(|(user, size, moves, final_advance, created, mode)| SessionSpec {
+            user,
+            size,
+            moves,
+            final_advance,
+            created,
+            mode,
+        })
+}
+
+/// Builds a trace from specs, returning expected per-session run lists.
+fn build(specs: &[SessionSpec]) -> (Trace, Vec<Vec<u64>>) {
+    let mut b = TraceBuilder::new();
+    let mut users = Vec::new();
+    for _ in 0..8 {
+        users.push(b.new_user_id());
+    }
+    let mut expected_runs = Vec::new();
+    let mut t = 0u64;
+    for spec in specs {
+        let f = b.new_file_id();
+        let mode = match spec.mode {
+            0 => AccessMode::ReadOnly,
+            1 => AccessMode::WriteOnly,
+            _ => AccessMode::ReadWrite,
+        };
+        let size = if spec.created { 0 } else { spec.size };
+        let o = b.open(t, f, users[spec.user as usize], mode, size, spec.created);
+        t += 20;
+        let mut pos = 0u64;
+        let mut runs = Vec::new();
+        for &(advance, target) in &spec.moves {
+            if advance > 0 {
+                runs.push(advance);
+            }
+            b.seek(t, o, pos + advance, target);
+            pos = target;
+            t += 20;
+        }
+        if spec.final_advance > 0 {
+            runs.push(spec.final_advance);
+        }
+        b.close(t, o, pos + spec.final_advance);
+        t += 20;
+        expected_runs.push(runs);
+    }
+    (b.finish(), expected_runs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Run lengths match the generator's bookkeeping exactly.
+    #[test]
+    fn run_lengths_match_construction(specs in prop::collection::vec(arb_session(), 1..30)) {
+        let (trace, expected) = build(&specs);
+        let sessions = trace.sessions();
+        prop_assert_eq!(sessions.anomalies(), 0);
+        let mut analysis = RunLengthAnalysis::analyze(&sessions);
+        let total_runs: usize = expected.iter().map(Vec::len).sum();
+        let total_bytes: u64 = expected.iter().flatten().sum();
+        prop_assert_eq!(analysis.by_runs.total_weight(), total_runs as u64);
+        prop_assert_eq!(analysis.by_bytes.total_weight(), total_bytes);
+        if total_bytes > 0 {
+            let max_run = expected.iter().flatten().copied().max().unwrap_or(0);
+            prop_assert!((analysis.fraction_of_runs_le(max_run) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Sequentiality classification matches a brute-force rule:
+    /// sequential iff at most one positive-length run.
+    #[test]
+    fn sequentiality_matches_bruteforce(specs in prop::collection::vec(arb_session(), 1..30)) {
+        let (trace, expected) = build(&specs);
+        let report = SequentialityReport::analyze(&trace.sessions());
+        let brute_sequential = expected.iter().filter(|r| r.len() <= 1).count() as u64;
+        let got = report.read_only.sequential
+            + report.write_only.sequential
+            + report.read_write.sequential;
+        prop_assert_eq!(got, brute_sequential);
+        prop_assert_eq!(report.total_accesses(), specs.len() as u64);
+    }
+
+    /// Activity totals conserve bytes and never invent users.
+    #[test]
+    fn activity_conserves_bytes(specs in prop::collection::vec(arb_session(), 1..30)) {
+        let (trace, expected) = build(&specs);
+        let act = ActivityAnalysis::analyze(&trace, &[10]);
+        let total: u64 = expected.iter().flatten().sum();
+        prop_assert_eq!(act.total_bytes, total);
+        let distinct: std::collections::HashSet<u32> =
+            specs.iter().map(|s| s.user).collect();
+        prop_assert_eq!(act.total_users as usize, distinct.len());
+    }
+
+    /// Per-user analysis partitions the same byte total.
+    #[test]
+    fn user_analysis_partitions_bytes(specs in prop::collection::vec(arb_session(), 1..30)) {
+        let (trace, expected) = build(&specs);
+        let ua = UserAnalysis::analyze(&trace);
+        let total: u64 = expected.iter().flatten().sum();
+        let sum: u64 = ua.users.iter().map(|u| u.bytes).sum();
+        prop_assert_eq!(sum, total);
+        // Sorted descending.
+        for w in ua.users.windows(2) {
+            prop_assert!(w[0].bytes >= w[1].bytes);
+        }
+        prop_assert!(ua.concentration(usize::MAX) >= 0.999 || total == 0);
+    }
+
+    /// File sizes at close are never smaller than bytes transferred in
+    /// any single run of the session.
+    #[test]
+    fn size_distribution_dominates_runs(specs in prop::collection::vec(arb_session(), 1..30)) {
+        let (trace, _) = build(&specs);
+        let sessions = trace.sessions();
+        for s in sessions.complete() {
+            let max_run_end = s.runs.iter().map(|r| r.end()).max().unwrap_or(0);
+            prop_assert!(s.size_at_close() >= max_run_end);
+        }
+        let a = FileSizeAnalysis::analyze(&sessions);
+        prop_assert_eq!(a.by_files.total_weight(), specs.len() as u64);
+    }
+
+    /// Lifetime analysis: every death postdates its birth, and weights
+    /// conserve written bytes for created files that die.
+    #[test]
+    fn lifetimes_are_causal(specs in prop::collection::vec(arb_session(), 1..30)) {
+        let (trace, _) = build(&specs);
+        let lt = LifetimeAnalysis::analyze(&trace);
+        for e in &lt.events {
+            prop_assert!(e.died_ms >= e.born_ms);
+        }
+        // Each spec creates a distinct file and nothing is unlinked, so
+        // deaths can only come from truncate-on-open of... nothing: all
+        // files are distinct. Hence created files are censored.
+        let created = specs.iter().filter(|s| s.created).count() as u64;
+        prop_assert_eq!(lt.censored, created);
+        prop_assert!(lt.events.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! `tracefmt`: inspect and convert trace files.
+//!
+//! ```text
+//! tracefmt dump    FILE        print a binary trace as text
+//! tracefmt pack    FILE OUT    convert a text trace to binary
+//! tracefmt summary FILE        print Table III-style statistics
+//! tracefmt sessions FILE       print reconstructed open-close sessions
+//! ```
+//!
+//! Binary traces are detected by the `FSTR` magic; anything else is
+//! parsed as text.
+
+use std::fs;
+use std::io::Write;
+use std::process::exit;
+
+use fstrace::Trace;
+
+fn load(path: &str) -> Trace {
+    let bytes = fs::read(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    if bytes.starts_with(b"FSTR") {
+        Trace::from_binary(&bytes).unwrap_or_else(|e| die(&format!("decode {path}: {e}")))
+    } else {
+        let text = String::from_utf8(bytes).unwrap_or_else(|_| die("trace is not UTF-8 text"));
+        Trace::from_text(&text).unwrap_or_else(|e| die(&format!("parse {path}: {e}")))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, file] if cmd == "dump" => {
+            let trace = load(file);
+            let stdout = std::io::stdout();
+            // A closed pipe (`| head`) is a normal way to stop reading.
+            let _ = trace.write_text(stdout.lock());
+        }
+        [cmd, file, out] if cmd == "pack" => {
+            let trace = load(file);
+            let bytes = trace.to_binary();
+            fs::File::create(out)
+                .and_then(|mut f| f.write_all(&bytes))
+                .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+            eprintln!(
+                "{} records, {} bytes ({:.1} bytes/record)",
+                trace.len(),
+                bytes.len(),
+                bytes.len() as f64 / trace.len().max(1) as f64
+            );
+        }
+        [cmd, file] if cmd == "summary" => {
+            let trace = load(file);
+            println!("{}", trace.summary());
+        }
+        [cmd, file] if cmd == "sessions" => {
+            let trace = load(file);
+            let sessions = trace.sessions();
+            println!(
+                "{} sessions ({} unclosed, {} anomalies), {} bytes transferred",
+                sessions.len(),
+                sessions.unclosed(),
+                sessions.anomalies(),
+                sessions.total_bytes_transferred()
+            );
+            let stdout = std::io::stdout();
+            let mut w = stdout.lock();
+            for s in sessions.complete() {
+                // Stop quietly when the pipe closes (e.g. under `head`).
+                if writeln!(
+                    w,
+                    "{} {} {} {:?} open@{} {}ms {}B runs={} whole={} seq={}",
+                    s.open_id,
+                    s.file_id,
+                    s.user_id,
+                    s.mode,
+                    s.open_time.as_ms(),
+                    s.open_duration_ms().unwrap_or(0),
+                    s.bytes_transferred(),
+                    s.runs.len(),
+                    s.is_whole_file_transfer(),
+                    s.is_sequential(),
+                )
+                .is_err()
+                {
+                    break;
+                }
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: tracefmt dump FILE | pack FILE OUT | summary FILE | sessions FILE"
+            );
+            exit(2);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tracefmt: {msg}");
+    exit(1);
+}

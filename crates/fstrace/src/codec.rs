@@ -1,0 +1,704 @@
+//! Binary and text codecs for trace files.
+//!
+//! The binary format mirrors the paper's concern for trace volume
+//! (Section 3): records are tag + LEB128 varints with delta-encoded
+//! timestamps, averaging a few bytes per event. The text format is one
+//! whitespace-separated line per record, for inspection and interchange.
+//!
+//! # Binary layout
+//!
+//! ```text
+//! file   := magic version record*
+//! magic  := "FSTR"            (4 bytes)
+//! version:= 0x01              (1 byte)
+//! record := tag:u8 dt:varint payload
+//! dt     := timestamp delta from previous record, in 10 ms ticks
+//! ```
+//!
+//! Payloads per tag are sequences of varints (see `encode_into`).
+
+use std::io::{self, Read, Write};
+
+use crate::event::{AccessMode, TraceEvent, TraceRecord};
+use crate::ids::{FileId, OpenId, Timestamp, UserId};
+
+/// File magic for binary traces.
+pub const MAGIC: [u8; 4] = *b"FSTR";
+/// Current binary format version.
+pub const VERSION: u8 = 1;
+
+const TAG_OPEN: u8 = 1;
+const TAG_CREATE: u8 = 2;
+const TAG_CLOSE: u8 = 3;
+const TAG_SEEK: u8 = 4;
+const TAG_UNLINK: u8 = 5;
+const TAG_TRUNCATE: u8 = 6;
+const TAG_EXECVE: u8 = 7;
+
+const MODE_RO: u64 = 0;
+const MODE_WO: u64 = 1;
+const MODE_RW: u64 = 2;
+
+/// Errors produced while decoding a trace.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not begin with the expected magic bytes.
+    BadMagic,
+    /// The stream's format version is not supported.
+    BadVersion(u8),
+    /// An unknown record tag was encountered.
+    BadTag(u8),
+    /// A varint was malformed or truncated.
+    BadVarint,
+    /// A field held an out-of-range value (e.g. an unknown access mode).
+    BadField(&'static str),
+    /// A text line could not be parsed.
+    BadLine(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "i/o error: {e}"),
+            DecodeError::BadMagic => write!(f, "not a trace file (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::BadTag(t) => write!(f, "unknown record tag {t}"),
+            DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::BadField(name) => write!(f, "invalid field: {name}"),
+            DecodeError::BadLine(line) => write!(f, "unparseable text record: {line:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+/// Appends `v` to `out` as an LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint from `buf` starting at `*pos`.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf.get(*pos).ok_or(DecodeError::BadVarint)?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DecodeError::BadVarint);
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn mode_code(mode: AccessMode) -> u64 {
+    match mode {
+        AccessMode::ReadOnly => MODE_RO,
+        AccessMode::WriteOnly => MODE_WO,
+        AccessMode::ReadWrite => MODE_RW,
+    }
+}
+
+fn mode_from_code(code: u64) -> Result<AccessMode, DecodeError> {
+    match code {
+        MODE_RO => Ok(AccessMode::ReadOnly),
+        MODE_WO => Ok(AccessMode::WriteOnly),
+        MODE_RW => Ok(AccessMode::ReadWrite),
+        _ => Err(DecodeError::BadField("access mode")),
+    }
+}
+
+/// Encodes one record into `out`, delta-encoding its timestamp against
+/// `prev_ticks` (pass 0 for the first record). Returns the record's own
+/// tick count for chaining.
+pub fn encode_into(out: &mut Vec<u8>, rec: &TraceRecord, prev_ticks: u64) -> u64 {
+    let ticks = rec.time.as_ticks();
+    let dt = ticks.saturating_sub(prev_ticks);
+    match rec.event {
+        TraceEvent::Open {
+            open_id,
+            file_id,
+            user_id,
+            mode,
+            size,
+            created,
+        } => {
+            out.push(if created { TAG_CREATE } else { TAG_OPEN });
+            put_varint(out, dt);
+            put_varint(out, open_id.0);
+            put_varint(out, file_id.0);
+            put_varint(out, user_id.0 as u64);
+            put_varint(out, mode_code(mode));
+            put_varint(out, size);
+        }
+        TraceEvent::Close { open_id, final_pos } => {
+            out.push(TAG_CLOSE);
+            put_varint(out, dt);
+            put_varint(out, open_id.0);
+            put_varint(out, final_pos);
+        }
+        TraceEvent::Seek {
+            open_id,
+            old_pos,
+            new_pos,
+        } => {
+            out.push(TAG_SEEK);
+            put_varint(out, dt);
+            put_varint(out, open_id.0);
+            put_varint(out, old_pos);
+            put_varint(out, new_pos);
+        }
+        TraceEvent::Unlink { file_id, user_id } => {
+            out.push(TAG_UNLINK);
+            put_varint(out, dt);
+            put_varint(out, file_id.0);
+            put_varint(out, user_id.0 as u64);
+        }
+        TraceEvent::Truncate {
+            file_id,
+            new_len,
+            user_id,
+        } => {
+            out.push(TAG_TRUNCATE);
+            put_varint(out, dt);
+            put_varint(out, file_id.0);
+            put_varint(out, new_len);
+            put_varint(out, user_id.0 as u64);
+        }
+        TraceEvent::Execve {
+            file_id,
+            user_id,
+            size,
+        } => {
+            out.push(TAG_EXECVE);
+            put_varint(out, dt);
+            put_varint(out, file_id.0);
+            put_varint(out, user_id.0 as u64);
+            put_varint(out, size);
+        }
+    }
+    ticks
+}
+
+/// Decodes one record from `buf` at `*pos`; `prev_ticks` is the previous
+/// record's tick count. Returns the record and its tick count.
+pub fn decode_from(
+    buf: &[u8],
+    pos: &mut usize,
+    prev_ticks: u64,
+) -> Result<(TraceRecord, u64), DecodeError> {
+    let &tag = buf.get(*pos).ok_or(DecodeError::BadVarint)?;
+    *pos += 1;
+    let dt = get_varint(buf, pos)?;
+    let ticks = prev_ticks + dt;
+    let time = Timestamp::from_ticks(ticks);
+    let event = match tag {
+        TAG_OPEN | TAG_CREATE => {
+            let open_id = OpenId(get_varint(buf, pos)?);
+            let file_id = FileId(get_varint(buf, pos)?);
+            let user = get_varint(buf, pos)?;
+            let mode = mode_from_code(get_varint(buf, pos)?)?;
+            let size = get_varint(buf, pos)?;
+            TraceEvent::Open {
+                open_id,
+                file_id,
+                user_id: UserId(u32::try_from(user).map_err(|_| DecodeError::BadField("user id"))?),
+                mode,
+                size,
+                created: tag == TAG_CREATE,
+            }
+        }
+        TAG_CLOSE => TraceEvent::Close {
+            open_id: OpenId(get_varint(buf, pos)?),
+            final_pos: get_varint(buf, pos)?,
+        },
+        TAG_SEEK => TraceEvent::Seek {
+            open_id: OpenId(get_varint(buf, pos)?),
+            old_pos: get_varint(buf, pos)?,
+            new_pos: get_varint(buf, pos)?,
+        },
+        TAG_UNLINK => {
+            let file_id = FileId(get_varint(buf, pos)?);
+            let user = get_varint(buf, pos)?;
+            TraceEvent::Unlink {
+                file_id,
+                user_id: UserId(u32::try_from(user).map_err(|_| DecodeError::BadField("user id"))?),
+            }
+        }
+        TAG_TRUNCATE => {
+            let file_id = FileId(get_varint(buf, pos)?);
+            let new_len = get_varint(buf, pos)?;
+            let user = get_varint(buf, pos)?;
+            TraceEvent::Truncate {
+                file_id,
+                new_len,
+                user_id: UserId(u32::try_from(user).map_err(|_| DecodeError::BadField("user id"))?),
+            }
+        }
+        TAG_EXECVE => {
+            let file_id = FileId(get_varint(buf, pos)?);
+            let user = get_varint(buf, pos)?;
+            let size = get_varint(buf, pos)?;
+            TraceEvent::Execve {
+                file_id,
+                user_id: UserId(u32::try_from(user).map_err(|_| DecodeError::BadField("user id"))?),
+                size,
+            }
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok((TraceRecord { time, event }, ticks))
+}
+
+/// Streaming writer of binary trace files.
+///
+/// # Examples
+///
+/// ```
+/// use fstrace::{TraceEvent, TraceRecord, TraceWriter, FileId, UserId};
+///
+/// let mut out = Vec::new();
+/// let mut w = TraceWriter::new(&mut out).unwrap();
+/// w.write(&TraceRecord::new(0, TraceEvent::Unlink {
+///     file_id: FileId(1),
+///     user_id: UserId(0),
+/// })).unwrap();
+/// w.flush().unwrap();
+/// assert!(out.starts_with(b"FSTR"));
+/// ```
+pub struct TraceWriter<W: Write> {
+    inner: W,
+    buf: Vec<u8>,
+    prev_ticks: u64,
+    bytes_written: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer and emits the file header.
+    pub fn new(mut inner: W) -> io::Result<Self> {
+        inner.write_all(&MAGIC)?;
+        inner.write_all(&[VERSION])?;
+        Ok(Self {
+            inner,
+            buf: Vec::with_capacity(64),
+            prev_ticks: 0,
+            bytes_written: (MAGIC.len() + 1) as u64,
+        })
+    }
+
+    /// Appends one record.
+    ///
+    /// Records must be written in nondecreasing time order; out-of-order
+    /// timestamps are clamped by the delta encoding.
+    pub fn write(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.buf.clear();
+        self.prev_ticks = encode_into(&mut self.buf, rec, self.prev_ticks);
+        self.inner.write_all(&self.buf)?;
+        self.bytes_written += self.buf.len() as u64;
+        Ok(())
+    }
+
+    /// Total bytes emitted so far, including the header.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reader of binary trace files; iterates decoded [`TraceRecord`]s.
+pub struct TraceReader {
+    buf: Vec<u8>,
+    pos: usize,
+    prev_ticks: u64,
+}
+
+impl TraceReader {
+    /// Reads the full stream into memory and validates the header.
+    pub fn new<R: Read>(mut inner: R) -> Result<Self, DecodeError> {
+        let mut buf = Vec::new();
+        inner.read_to_end(&mut buf)?;
+        if buf.len() < MAGIC.len() + 1 || buf[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        if buf[4] != VERSION {
+            return Err(DecodeError::BadVersion(buf[4]));
+        }
+        Ok(Self {
+            buf,
+            pos: MAGIC.len() + 1,
+            prev_ticks: 0,
+        })
+    }
+
+    /// Decodes every remaining record.
+    pub fn read_all(mut self) -> Result<Vec<TraceRecord>, DecodeError> {
+        let mut out = Vec::new();
+        while self.pos < self.buf.len() {
+            let (rec, ticks) = decode_from(&self.buf, &mut self.pos, self.prev_ticks)?;
+            self.prev_ticks = ticks;
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = Result<TraceRecord, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        match decode_from(&self.buf, &mut self.pos, self.prev_ticks) {
+            Ok((rec, ticks)) => {
+                self.prev_ticks = ticks;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.pos = self.buf.len(); // Stop after an error.
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Formats a record as one text line.
+///
+/// The line starts with the time in milliseconds and the event name,
+/// followed by the payload fields in Table II order.
+pub fn to_text(rec: &TraceRecord) -> String {
+    let t = rec.time.as_ms();
+    match rec.event {
+        TraceEvent::Open {
+            open_id,
+            file_id,
+            user_id,
+            mode,
+            size,
+            created,
+        } => {
+            let name = if created { "create" } else { "open" };
+            let m = match mode {
+                AccessMode::ReadOnly => "r",
+                AccessMode::WriteOnly => "w",
+                AccessMode::ReadWrite => "rw",
+            };
+            format!("{t} {name} {} {} {} {m} {size}", open_id.0, file_id.0, user_id.0)
+        }
+        TraceEvent::Close { open_id, final_pos } => {
+            format!("{t} close {} {final_pos}", open_id.0)
+        }
+        TraceEvent::Seek {
+            open_id,
+            old_pos,
+            new_pos,
+        } => format!("{t} seek {} {old_pos} {new_pos}", open_id.0),
+        TraceEvent::Unlink { file_id, user_id } => {
+            format!("{t} unlink {} {}", file_id.0, user_id.0)
+        }
+        TraceEvent::Truncate {
+            file_id,
+            new_len,
+            user_id,
+        } => format!("{t} truncate {} {new_len} {}", file_id.0, user_id.0),
+        TraceEvent::Execve {
+            file_id,
+            user_id,
+            size,
+        } => format!("{t} execve {} {} {size}", file_id.0, user_id.0),
+    }
+}
+
+/// Parses a text line produced by [`to_text`].
+pub fn from_text(line: &str) -> Result<TraceRecord, DecodeError> {
+    let bad = || DecodeError::BadLine(line.to_string());
+    let mut it = line.split_ascii_whitespace();
+    let time_ms: u64 = it.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let name = it.next().ok_or_else(bad)?;
+    let num = |it: &mut std::str::SplitAsciiWhitespace<'_>| -> Result<u64, DecodeError> {
+        it.next().ok_or_else(bad)?.parse().map_err(|_| bad())
+    };
+    let event = match name {
+        "open" | "create" => {
+            let open_id = OpenId(num(&mut it)?);
+            let file_id = FileId(num(&mut it)?);
+            let user_id = UserId(num(&mut it)? as u32);
+            let mode = match it.next().ok_or_else(bad)? {
+                "r" => AccessMode::ReadOnly,
+                "w" => AccessMode::WriteOnly,
+                "rw" => AccessMode::ReadWrite,
+                _ => return Err(bad()),
+            };
+            let size = num(&mut it)?;
+            TraceEvent::Open {
+                open_id,
+                file_id,
+                user_id,
+                mode,
+                size,
+                created: name == "create",
+            }
+        }
+        "close" => TraceEvent::Close {
+            open_id: OpenId(num(&mut it)?),
+            final_pos: num(&mut it)?,
+        },
+        "seek" => TraceEvent::Seek {
+            open_id: OpenId(num(&mut it)?),
+            old_pos: num(&mut it)?,
+            new_pos: num(&mut it)?,
+        },
+        "unlink" => TraceEvent::Unlink {
+            file_id: FileId(num(&mut it)?),
+            user_id: UserId(num(&mut it)? as u32),
+        },
+        "truncate" => TraceEvent::Truncate {
+            file_id: FileId(num(&mut it)?),
+            new_len: num(&mut it)?,
+            user_id: UserId(num(&mut it)? as u32),
+        },
+        "execve" => TraceEvent::Execve {
+            file_id: FileId(num(&mut it)?),
+            user_id: UserId(num(&mut it)? as u32),
+            size: num(&mut it)?,
+        },
+        _ => return Err(bad()),
+    };
+    if it.next().is_some() {
+        return Err(bad());
+    }
+    Ok(TraceRecord::new(time_ms, event))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::new(
+                0,
+                TraceEvent::Open {
+                    open_id: OpenId(1),
+                    file_id: FileId(10),
+                    user_id: UserId(5),
+                    mode: AccessMode::ReadOnly,
+                    size: 4096,
+                    created: false,
+                },
+            ),
+            TraceRecord::new(
+                50,
+                TraceEvent::Seek {
+                    open_id: OpenId(1),
+                    old_pos: 1024,
+                    new_pos: 2048,
+                },
+            ),
+            TraceRecord::new(
+                120,
+                TraceEvent::Close {
+                    open_id: OpenId(1),
+                    final_pos: 4096,
+                },
+            ),
+            TraceRecord::new(
+                130,
+                TraceEvent::Open {
+                    open_id: OpenId(2),
+                    file_id: FileId(11),
+                    user_id: UserId(5),
+                    mode: AccessMode::WriteOnly,
+                    size: 0,
+                    created: true,
+                },
+            ),
+            TraceRecord::new(
+                200,
+                TraceEvent::Truncate {
+                    file_id: FileId(12),
+                    new_len: 100,
+                    user_id: UserId(6),
+                },
+            ),
+            TraceRecord::new(
+                210,
+                TraceEvent::Unlink {
+                    file_id: FileId(11),
+                    user_id: UserId(5),
+                },
+            ),
+            TraceRecord::new(
+                1000,
+                TraceEvent::Execve {
+                    file_id: FileId(20),
+                    user_id: UserId(5),
+                    size: 90_000,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let records = sample_records();
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let written = w.bytes_written();
+        drop(w);
+        assert_eq!(written as usize, out.len());
+        let decoded = TraceReader::new(&out[..]).unwrap().read_all().unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let records = sample_records();
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        drop(w);
+        // The paper collected ~500-600 bytes/minute for 2-3 events/sec;
+        // our records should average well under 16 bytes each.
+        assert!(out.len() < records.len() * 16 + 5);
+    }
+
+    #[test]
+    fn reader_rejects_bad_magic() {
+        assert!(matches!(
+            TraceReader::new(&b"NOPE\x01"[..]),
+            Err(DecodeError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_bad_version() {
+        assert!(matches!(
+            TraceReader::new(&b"FSTR\x63"[..]),
+            Err(DecodeError::BadVersion(0x63))
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_bad_tag() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&MAGIC);
+        data.push(VERSION);
+        data.push(99); // Bad tag.
+        data.push(0);
+        let got = TraceReader::new(&data[..]).unwrap().read_all();
+        assert!(matches!(got, Err(DecodeError::BadTag(99))));
+    }
+
+    #[test]
+    fn iterator_stops_after_error() {
+        let mut data = Vec::new();
+        data.extend_from_slice(&MAGIC);
+        data.push(VERSION);
+        data.push(99);
+        data.push(0);
+        let mut it = TraceReader::new(&data[..]).unwrap();
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        for r in sample_records() {
+            let line = to_text(&r);
+            let back = from_text(&line).unwrap();
+            assert_eq!(back, r, "line was {line:?}");
+        }
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(from_text("").is_err());
+        assert!(from_text("123").is_err());
+        assert!(from_text("123 frobnicate 1 2 3").is_err());
+        assert!(from_text("123 open 1 2 3 x 100").is_err());
+        assert!(from_text("123 close 1 2 3").is_err()); // Trailing field.
+        assert!(from_text("abc close 1 2").is_err());
+    }
+
+    #[test]
+    fn delta_encoding_is_order_robust() {
+        // A record earlier than its predecessor is clamped, not wrapped.
+        let r1 = TraceRecord::new(
+            1000,
+            TraceEvent::Close {
+                open_id: OpenId(1),
+                final_pos: 0,
+            },
+        );
+        let r2 = TraceRecord::new(
+            500,
+            TraceEvent::Close {
+                open_id: OpenId(2),
+                final_pos: 0,
+            },
+        );
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        w.write(&r1).unwrap();
+        w.write(&r2).unwrap();
+        drop(w);
+        let decoded = TraceReader::new(&out[..]).unwrap().read_all().unwrap();
+        assert_eq!(decoded[1].time, decoded[0].time); // Clamped forward.
+    }
+}

@@ -1,0 +1,274 @@
+//! Trace event types (Table II of the paper).
+
+use crate::ids::{FileId, OpenId, Timestamp, UserId};
+
+/// The access mode a file was opened with.
+///
+/// Table II does not list the mode explicitly, but the Section 5 analyses
+/// classify every access as read-only, write-only, or read-write, so the
+/// real tracer necessarily captured the open flags; we record them in the
+/// `open` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Opened for reading only (`O_RDONLY`).
+    ReadOnly,
+    /// Opened for writing only (`O_WRONLY`).
+    WriteOnly,
+    /// Opened for both reading and writing (`O_RDWR`).
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Returns `true` if data may be read under this mode.
+    pub fn can_read(self) -> bool {
+        matches!(self, AccessMode::ReadOnly | AccessMode::ReadWrite)
+    }
+
+    /// Returns `true` if data may be written under this mode.
+    pub fn can_write(self) -> bool {
+        matches!(self, AccessMode::WriteOnly | AccessMode::ReadWrite)
+    }
+}
+
+/// The kind of a trace event, without its payload.
+///
+/// Used for the event-mix accounting of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// `open` of an existing file.
+    Open,
+    /// `open` that created the file (or truncated it to zero length on
+    /// open, which the paper treats as creating new data).
+    Create,
+    /// `close`.
+    Close,
+    /// `lseek` — reposition within an open file.
+    Seek,
+    /// `unlink` — delete a file.
+    Unlink,
+    /// `truncate` — shorten a file.
+    Truncate,
+    /// `execve` — load a program.
+    Execve,
+}
+
+impl EventKind {
+    /// All event kinds, in Table III's row order.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::Create,
+        EventKind::Open,
+        EventKind::Close,
+        EventKind::Seek,
+        EventKind::Unlink,
+        EventKind::Truncate,
+        EventKind::Execve,
+    ];
+
+    /// The lowercase name used by the text codec and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Open => "open",
+            EventKind::Create => "create",
+            EventKind::Close => "close",
+            EventKind::Seek => "seek",
+            EventKind::Unlink => "unlink",
+            EventKind::Truncate => "truncate",
+            EventKind::Execve => "execve",
+        }
+    }
+}
+
+/// One logged file system event with its payload (Table II).
+///
+/// Note what is *absent*: there are no read or write events. The
+/// information below is sufficient to deduce the exact byte ranges
+/// accessed, because file I/O between repositioning operations is
+/// sequential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A file was opened (and possibly created).
+    Open {
+        /// Unique identifier for this open call.
+        open_id: OpenId,
+        /// The file operated on.
+        file_id: FileId,
+        /// The invoking account.
+        user_id: UserId,
+        /// Read/write mode requested.
+        mode: AccessMode,
+        /// File size in bytes at the time of the open, after any
+        /// truncate-on-open. A created file has size 0.
+        size: u64,
+        /// `true` if the open created the file or truncated it to zero
+        /// length (counted as a `create` event in Table III).
+        created: bool,
+    },
+    /// An open file was closed.
+    Close {
+        /// The open being closed.
+        open_id: OpenId,
+        /// Access position at close — the byte offset just past the last
+        /// sequential transfer.
+        final_pos: u64,
+    },
+    /// The access position of an open file was changed (`lseek`).
+    Seek {
+        /// The open being repositioned.
+        open_id: OpenId,
+        /// Position before the reposition (bounds the preceding
+        /// sequential run).
+        old_pos: u64,
+        /// Position after the reposition.
+        new_pos: u64,
+    },
+    /// A file was deleted.
+    Unlink {
+        /// The deleted file.
+        file_id: FileId,
+        /// The invoking account (an extension beyond Table II, kept so
+        /// deletes mark users active in the Table IV analysis).
+        user_id: UserId,
+    },
+    /// A file was shortened.
+    Truncate {
+        /// The truncated file.
+        file_id: FileId,
+        /// New length in bytes.
+        new_len: u64,
+        /// The invoking account (extension beyond Table II).
+        user_id: UserId,
+    },
+    /// A program file was loaded for execution.
+    Execve {
+        /// The program file.
+        file_id: FileId,
+        /// The invoking account.
+        user_id: UserId,
+        /// Program file size in bytes (used to estimate paging I/O).
+        size: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The kind of this event, distinguishing `create` from plain `open`.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TraceEvent::Open { created: true, .. } => EventKind::Create,
+            TraceEvent::Open { created: false, .. } => EventKind::Open,
+            TraceEvent::Close { .. } => EventKind::Close,
+            TraceEvent::Seek { .. } => EventKind::Seek,
+            TraceEvent::Unlink { .. } => EventKind::Unlink,
+            TraceEvent::Truncate { .. } => EventKind::Truncate,
+            TraceEvent::Execve { .. } => EventKind::Execve,
+        }
+    }
+
+    /// The user this event is attributable to, if the event carries one.
+    pub fn user_id(&self) -> Option<UserId> {
+        match *self {
+            TraceEvent::Open { user_id, .. }
+            | TraceEvent::Unlink { user_id, .. }
+            | TraceEvent::Truncate { user_id, .. }
+            | TraceEvent::Execve { user_id, .. } => Some(user_id),
+            TraceEvent::Close { .. } | TraceEvent::Seek { .. } => None,
+        }
+    }
+
+    /// The open id this event refers to, if any.
+    pub fn open_id(&self) -> Option<OpenId> {
+        match *self {
+            TraceEvent::Open { open_id, .. }
+            | TraceEvent::Close { open_id, .. }
+            | TraceEvent::Seek { open_id, .. } => Some(open_id),
+            _ => None,
+        }
+    }
+
+    /// The file id this event refers to, if it names a file directly.
+    pub fn file_id(&self) -> Option<FileId> {
+        match *self {
+            TraceEvent::Open { file_id, .. }
+            | TraceEvent::Unlink { file_id, .. }
+            | TraceEvent::Truncate { file_id, .. }
+            | TraceEvent::Execve { file_id, .. } => Some(file_id),
+            TraceEvent::Close { .. } | TraceEvent::Seek { .. } => None,
+        }
+    }
+}
+
+/// A timestamped trace event — one line of the trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// When the event occurred (10 ms granularity).
+    pub time: Timestamp,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Creates a record, quantizing `time_ms` to the tracer granularity.
+    pub fn new(time_ms: u64, event: TraceEvent) -> Self {
+        TraceRecord {
+            time: Timestamp::from_ms(time_ms),
+            event,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_event(created: bool) -> TraceEvent {
+        TraceEvent::Open {
+            open_id: OpenId(1),
+            file_id: FileId(2),
+            user_id: UserId(3),
+            mode: AccessMode::ReadOnly,
+            size: 100,
+            created,
+        }
+    }
+
+    #[test]
+    fn kind_distinguishes_create_from_open() {
+        assert_eq!(open_event(false).kind(), EventKind::Open);
+        assert_eq!(open_event(true).kind(), EventKind::Create);
+    }
+
+    #[test]
+    fn access_mode_capabilities() {
+        assert!(AccessMode::ReadOnly.can_read());
+        assert!(!AccessMode::ReadOnly.can_write());
+        assert!(!AccessMode::WriteOnly.can_read());
+        assert!(AccessMode::WriteOnly.can_write());
+        assert!(AccessMode::ReadWrite.can_read());
+        assert!(AccessMode::ReadWrite.can_write());
+    }
+
+    #[test]
+    fn user_id_presence() {
+        assert_eq!(open_event(false).user_id(), Some(UserId(3)));
+        let close = TraceEvent::Close {
+            open_id: OpenId(1),
+            final_pos: 0,
+        };
+        assert_eq!(close.user_id(), None);
+        assert_eq!(close.open_id(), Some(OpenId(1)));
+        assert_eq!(close.file_id(), None);
+    }
+
+    #[test]
+    fn record_quantizes_time() {
+        let r = TraceRecord::new(1234, open_event(false));
+        assert_eq!(r.time.as_ms(), 1230);
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::ALL.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! Identifier newtypes and the quantized trace clock.
+
+use std::fmt;
+
+/// Timestamp quantum in milliseconds.
+///
+/// The paper's tracer records times "accurate to approximately 10
+/// milliseconds" (Table II); all [`Timestamp`]s are rounded down to this
+/// granularity.
+pub const TICK_MS: u64 = 10;
+
+/// A trace timestamp: milliseconds since the start of the trace,
+/// quantized to [`TICK_MS`].
+///
+/// # Examples
+///
+/// ```
+/// use fstrace::Timestamp;
+///
+/// let t = Timestamp::from_ms(1234);
+/// assert_eq!(t.as_ms(), 1230); // Quantized down to 10 ms.
+/// assert_eq!(t.as_secs_f64(), 1.23);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The zero timestamp (trace start).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from raw milliseconds, quantizing down to the
+    /// 10 ms tracer granularity.
+    pub fn from_ms(ms: u64) -> Self {
+        Timestamp(ms / TICK_MS * TICK_MS)
+    }
+
+    /// Creates a timestamp from 10 ms ticks.
+    pub fn from_ticks(ticks: u64) -> Self {
+        Timestamp(ticks * TICK_MS)
+    }
+
+    /// The timestamp in milliseconds.
+    pub fn as_ms(self) -> u64 {
+        self.0
+    }
+
+    /// The timestamp in 10 ms ticks.
+    pub fn as_ticks(self) -> u64 {
+        self.0 / TICK_MS
+    }
+
+    /// The timestamp in whole seconds, rounded down.
+    pub fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The timestamp in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Milliseconds elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+/// A unique identifier assigned to each `open` system call.
+///
+/// Distinguishes concurrent accesses to the same file (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpenId(pub u64);
+
+/// A unique identifier for a file.
+///
+/// In the real tracer this was derived from the device and i-number; here
+/// it is an opaque 64-bit value assigned by the file system or trace
+/// builder. Identifiers are never reused, even after `unlink`, so a file
+/// recreated under the same name gets a fresh id — exactly the property
+/// the lifetime analysis relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u64);
+
+/// The account under which an operation was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for OpenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizes_down_to_tick() {
+        assert_eq!(Timestamp::from_ms(0).as_ms(), 0);
+        assert_eq!(Timestamp::from_ms(9).as_ms(), 0);
+        assert_eq!(Timestamp::from_ms(10).as_ms(), 10);
+        assert_eq!(Timestamp::from_ms(1999).as_ms(), 1990);
+    }
+
+    #[test]
+    fn tick_roundtrip() {
+        let t = Timestamp::from_ticks(123);
+        assert_eq!(t.as_ms(), 1230);
+        assert_eq!(t.as_ticks(), 123);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Timestamp::from_ms(100);
+        let b = Timestamp::from_ms(300);
+        assert_eq!(b.since(a), 200);
+        assert_eq!(a.since(b), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_ms(1230).to_string(), "1.230s");
+        assert_eq!(OpenId(5).to_string(), "o5");
+        assert_eq!(FileId(7).to_string(), "f7");
+        assert_eq!(UserId(3).to_string(), "u3");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Timestamp::from_ms(10) < Timestamp::from_ms(20));
+        assert_eq!(Timestamp::from_ms(15), Timestamp::from_ms(10));
+    }
+}

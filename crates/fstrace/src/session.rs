@@ -1,0 +1,438 @@
+//! Reconstruction of per-open access patterns from a logical trace.
+//!
+//! This module implements the deduction at the heart of the paper's
+//! no-read-write tracing approach (Section 3.1): because file I/O between
+//! repositioning operations is sequential, the positions recorded at
+//! `open`, each `seek`, and `close` determine exactly which byte ranges
+//! were transferred. Each maximal stretch of sequential transfer is a
+//! [`Run`]; all analyses and the cache simulator consume these runs.
+//!
+//! Following the paper, every transfer is *billed at the time of the next
+//! `close` or `seek` event* for the file.
+
+use std::collections::HashMap;
+
+use crate::event::{AccessMode, TraceEvent, TraceRecord};
+use crate::ids::{FileId, OpenId, Timestamp, UserId};
+
+/// One sequential run: bytes transferred between repositioning events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Byte offset in the file where the run starts.
+    pub offset: u64,
+    /// Number of bytes transferred; always positive.
+    pub len: u64,
+    /// Time of the `seek` or `close` that ended (and bills) the run.
+    pub billed_at: Timestamp,
+}
+
+impl Run {
+    /// Offset one past the last byte of the run.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+/// The reconstructed history of one `open`…`close` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenSession {
+    /// Identifier of the `open` call.
+    pub open_id: OpenId,
+    /// The file accessed.
+    pub file_id: FileId,
+    /// The invoking account.
+    pub user_id: UserId,
+    /// Read/write mode of the open.
+    pub mode: AccessMode,
+    /// `true` if the open created the file or truncated it to zero.
+    pub created: bool,
+    /// Time of the `open` event.
+    pub open_time: Timestamp,
+    /// Time of the `close` event, or `None` if the trace ended with the
+    /// file still open.
+    pub close_time: Option<Timestamp>,
+    /// File size in bytes at open (after any truncate-on-open).
+    pub open_size: u64,
+    /// Sequential runs with positive length, in trace order.
+    pub runs: Vec<Run>,
+    /// Number of `seek` events seen while open.
+    pub seek_count: u32,
+}
+
+impl OpenSession {
+    /// Total bytes transferred during the session.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.runs.iter().map(|r| r.len).sum()
+    }
+
+    /// File size at close, deduced from the open size and the furthest
+    /// position reached — exactly what the no-read-write trace permits.
+    pub fn size_at_close(&self) -> u64 {
+        let furthest = self.runs.iter().map(Run::end).max().unwrap_or(0);
+        self.open_size.max(furthest)
+    }
+
+    /// Wall time the file was open, in milliseconds (`None` while open at
+    /// trace end).
+    pub fn open_duration_ms(&self) -> Option<u64> {
+        self.close_time.map(|c| c.since(self.open_time))
+    }
+
+    /// `true` if the file was read or written sequentially from beginning
+    /// to end: a single run covering the whole file with no repositioning
+    /// (Table V, "whole-file transfers").
+    ///
+    /// An open/close of an empty file with no transfers counts — the
+    /// whole (zero-byte) file was trivially processed.
+    pub fn is_whole_file_transfer(&self) -> bool {
+        if self.close_time.is_none() || self.seek_count > 0 {
+            return false;
+        }
+        match self.runs.as_slice() {
+            [] => self.size_at_close() == 0,
+            [run] => run.offset == 0 && run.len == self.size_at_close(),
+            _ => false,
+        }
+    }
+
+    /// `true` if access was sequential: a whole-file transfer, or
+    /// repositioning happened only *before* any bytes were transferred
+    /// (Table V, "sequential accesses" — e.g. seek-to-end then append).
+    pub fn is_sequential(&self) -> bool {
+        if self.close_time.is_none() {
+            return false;
+        }
+        self.runs.len() <= 1
+    }
+}
+
+/// One `execve` occurrence, kept apart from open sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEvent {
+    /// When the program was loaded.
+    pub time: Timestamp,
+    /// The program file.
+    pub file_id: FileId,
+    /// The invoking account.
+    pub user_id: UserId,
+    /// Program file size in bytes.
+    pub size: u64,
+}
+
+/// All sessions reconstructed from one trace, plus the `execve` stream.
+#[derive(Debug, Clone, Default)]
+pub struct SessionSet {
+    sessions: Vec<OpenSession>,
+    execs: Vec<ExecEvent>,
+    anomalies: u64,
+    unclosed: u64,
+}
+
+/// In-flight state for an open that has not closed yet.
+struct Pending {
+    session: OpenSession,
+    pos: u64,
+}
+
+impl SessionSet {
+    /// Reconstructs sessions by scanning trace records in order.
+    ///
+    /// `close`/`seek` events whose open id was never seen (possible when a
+    /// trace starts mid-activity) are counted as anomalies and skipped.
+    /// Opens still pending when the records end are kept with
+    /// `close_time == None`.
+    pub fn build(records: &[TraceRecord]) -> Self {
+        let mut pending: HashMap<OpenId, Pending> = HashMap::new();
+        let mut out = SessionSet::default();
+        for rec in records {
+            match rec.event {
+                TraceEvent::Open {
+                    open_id,
+                    file_id,
+                    user_id,
+                    mode,
+                    size,
+                    created,
+                } => {
+                    let session = OpenSession {
+                        open_id,
+                        file_id,
+                        user_id,
+                        mode,
+                        created,
+                        open_time: rec.time,
+                        close_time: None,
+                        open_size: size,
+                        runs: Vec::new(),
+                        seek_count: 0,
+                    };
+                    if pending
+                        .insert(open_id, Pending { session, pos: 0 })
+                        .is_some()
+                    {
+                        // Duplicate open id: drop the earlier, unfinished one.
+                        out.anomalies += 1;
+                    }
+                }
+                TraceEvent::Seek {
+                    open_id,
+                    old_pos,
+                    new_pos,
+                } => match pending.get_mut(&open_id) {
+                    Some(p) => {
+                        p.session.seek_count += 1;
+                        if old_pos > p.pos {
+                            p.session.runs.push(Run {
+                                offset: p.pos,
+                                len: old_pos - p.pos,
+                                billed_at: rec.time,
+                            });
+                        } else if old_pos < p.pos {
+                            // Positions only move forward between seeks;
+                            // a regression is a malformed trace.
+                            out.anomalies += 1;
+                        }
+                        p.pos = new_pos;
+                    }
+                    None => out.anomalies += 1,
+                },
+                TraceEvent::Close { open_id, final_pos } => match pending.remove(&open_id) {
+                    Some(mut p) => {
+                        if final_pos > p.pos {
+                            p.session.runs.push(Run {
+                                offset: p.pos,
+                                len: final_pos - p.pos,
+                                billed_at: rec.time,
+                            });
+                        } else if final_pos < p.pos {
+                            out.anomalies += 1;
+                        }
+                        p.session.close_time = Some(rec.time);
+                        out.sessions.push(p.session);
+                    }
+                    None => out.anomalies += 1,
+                },
+                TraceEvent::Execve {
+                    file_id,
+                    user_id,
+                    size,
+                } => out.execs.push(ExecEvent {
+                    time: rec.time,
+                    file_id,
+                    user_id,
+                    size,
+                }),
+                TraceEvent::Unlink { .. } | TraceEvent::Truncate { .. } => {}
+            }
+        }
+        // Keep unfinished opens so Table IV still sees their activity.
+        out.unclosed = pending.len() as u64;
+        let mut rest: Vec<OpenSession> = pending.into_values().map(|p| p.session).collect();
+        rest.sort_by_key(|s| (s.open_time, s.open_id));
+        out.sessions.extend(rest);
+        out
+    }
+
+    /// All sessions, closed ones first in close order, then unclosed.
+    pub fn all(&self) -> &[OpenSession] {
+        &self.sessions
+    }
+
+    /// Sessions that closed within the trace.
+    pub fn complete(&self) -> impl Iterator<Item = &OpenSession> {
+        self.sessions.iter().filter(|s| s.close_time.is_some())
+    }
+
+    /// The `execve` events in trace order.
+    pub fn execs(&self) -> &[ExecEvent] {
+        &self.execs
+    }
+
+    /// Number of sessions reconstructed (closed or not).
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` if no sessions were reconstructed.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Count of malformed references (unknown open ids, position
+    /// regressions, duplicate open ids).
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// Number of opens still pending at the end of the records.
+    pub fn unclosed(&self) -> u64 {
+        self.unclosed
+    }
+
+    /// Total bytes transferred across all sessions.
+    pub fn total_bytes_transferred(&self) -> u64 {
+        self.sessions.iter().map(OpenSession::bytes_transferred).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn whole_file_read() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(100, f, u, AccessMode::ReadOnly, 5000, false);
+        b.close(400, o, 5000);
+        let t = b.finish();
+        let set = t.sessions();
+        let s = &set.all()[0];
+        assert_eq!(s.bytes_transferred(), 5000);
+        assert_eq!(s.size_at_close(), 5000);
+        assert_eq!(s.open_duration_ms(), Some(300));
+        assert!(s.is_whole_file_transfer());
+        assert!(s.is_sequential());
+        assert_eq!(s.runs.len(), 1);
+        assert_eq!(s.runs[0].billed_at.as_ms(), 400);
+    }
+
+    #[test]
+    fn partial_read_is_not_whole_file() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(0, f, u, AccessMode::ReadOnly, 5000, false);
+        b.close(100, o, 3000);
+        let t = b.finish();
+        let set = t.sessions();
+        let s = &set.all()[0];
+        assert!(!s.is_whole_file_transfer());
+        assert!(s.is_sequential());
+        assert_eq!(s.bytes_transferred(), 3000);
+        assert_eq!(s.size_at_close(), 5000);
+    }
+
+    #[test]
+    fn mailbox_append_pattern() {
+        // Open read-write, seek to end before transferring, append, close:
+        // sequential but not whole-file (Table V's canonical example).
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(0, f, u, AccessMode::ReadWrite, 10_000, false);
+        b.seek(10, o, 0, 10_000);
+        b.close(50, o, 10_500);
+        let t = b.finish();
+        let set = t.sessions();
+        let s = &set.all()[0];
+        assert!(!s.is_whole_file_transfer());
+        assert!(s.is_sequential());
+        assert_eq!(s.bytes_transferred(), 500);
+        assert_eq!(s.size_at_close(), 10_500);
+        assert_eq!(s.runs[0].offset, 10_000);
+    }
+
+    #[test]
+    fn random_access_is_not_sequential() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(0, f, u, AccessMode::ReadWrite, 100_000, false);
+        b.seek(10, o, 0, 50_000);
+        b.seek(20, o, 50_100, 2_000); // Transferred 100 bytes at 50 000.
+        b.close(30, o, 2_200); // Transferred 200 bytes at 2 000.
+        let t = b.finish();
+        let set = t.sessions();
+        let s = &set.all()[0];
+        assert!(!s.is_sequential());
+        assert_eq!(s.runs.len(), 2);
+        assert_eq!(s.bytes_transferred(), 300);
+        assert_eq!(s.seek_count, 2);
+    }
+
+    #[test]
+    fn empty_file_open_close_is_whole_file() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(0, f, u, AccessMode::WriteOnly, 0, true);
+        b.close(10, o, 0);
+        let t = b.finish();
+        let set = t.sessions();
+        let s = &set.all()[0];
+        assert!(s.is_whole_file_transfer());
+        assert_eq!(s.bytes_transferred(), 0);
+    }
+
+    #[test]
+    fn unclosed_open_kept_but_not_sequential() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let _o = b.open(0, f, u, AccessMode::ReadOnly, 100, false);
+        let t = b.finish();
+        let set = t.sessions();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.unclosed(), 1);
+        assert_eq!(set.complete().count(), 0);
+        let s = &set.all()[0];
+        assert!(!s.is_whole_file_transfer());
+        assert!(!s.is_sequential());
+        assert_eq!(s.open_duration_ms(), None);
+    }
+
+    #[test]
+    fn orphan_events_are_anomalies() {
+        let mut b = TraceBuilder::new();
+        b.close(0, OpenId(999), 0);
+        b.seek(10, OpenId(998), 0, 5);
+        let t = b.finish();
+        let set = t.sessions();
+        assert_eq!(set.anomalies(), 2);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn position_regression_is_anomaly() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(0, f, u, AccessMode::ReadOnly, 100, false);
+        b.seek(10, o, 50, 60); // pos was 0, old_pos 50: run of 50.
+        b.close(20, o, 40); // final_pos 40 < pos 60: regression.
+        let t = b.finish();
+        let set = t.sessions();
+        assert_eq!(set.anomalies(), 1);
+        assert_eq!(set.all()[0].bytes_transferred(), 50);
+    }
+
+    #[test]
+    fn execs_are_collected() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        b.execve(100, f, u, 64_000);
+        let t = b.finish();
+        let set = t.sessions();
+        assert_eq!(set.execs().len(), 1);
+        assert_eq!(set.execs()[0].size, 64_000);
+    }
+
+    #[test]
+    fn concurrent_opens_of_same_file_are_distinct() {
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o1 = b.open(0, f, u, AccessMode::ReadOnly, 1000, false);
+        let o2 = b.open(5, f, u, AccessMode::ReadOnly, 1000, false);
+        b.close(10, o1, 1000);
+        b.close(20, o2, 500);
+        let t = b.finish();
+        let set = t.sessions();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_bytes_transferred(), 1500);
+    }
+}

@@ -1,0 +1,206 @@
+//! Whole-trace summary statistics (Table III of the paper).
+
+use std::fmt;
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+
+/// Overall statistics for one trace, in the shape of Table III.
+///
+/// # Examples
+///
+/// ```
+/// use fstrace::{AccessMode, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let f = b.new_file_id();
+/// let u = b.new_user_id();
+/// let o = b.open(0, f, u, AccessMode::ReadOnly, 1_000_000, false);
+/// b.close(3_600_000, o, 1_000_000);
+/// let s = b.finish().summary();
+/// assert_eq!(s.records, 2);
+/// assert!((s.duration_hours - 1.0).abs() < 1e-9);
+/// assert_eq!(s.total_bytes_transferred, 1_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Trace duration in hours.
+    pub duration_hours: f64,
+    /// Number of trace records.
+    pub records: u64,
+    /// Size of the binary trace file in bytes.
+    pub trace_file_bytes: u64,
+    /// Total data transferred to/from files in bytes (billed per the
+    /// paper's next-close-or-seek rule).
+    pub total_bytes_transferred: u64,
+    /// Event counts in [`EventKind::ALL`] order.
+    pub event_counts: [u64; 7],
+    /// Mean file opens (including creates) per second over the trace.
+    pub opens_per_second: f64,
+    /// Peak opens per second over any 10-minute interval.
+    pub peak_opens_per_second: f64,
+}
+
+impl TraceSummary {
+    /// Computes the summary for a trace.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut event_counts = [0u64; 7];
+        let mut open_windows: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        const WINDOW_MS: u64 = 600_000; // 10 minutes.
+        for rec in trace.records() {
+            let kind = rec.event.kind();
+            let idx = EventKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+            event_counts[idx] += 1;
+            if matches!(kind, EventKind::Open | EventKind::Create) {
+                *open_windows.entry(rec.time.as_ms() / WINDOW_MS).or_insert(0) += 1;
+            }
+        }
+        let duration_ms = trace.duration_ms();
+        let duration_hours = duration_ms as f64 / 3_600_000.0;
+        let opens: u64 = event_counts[0] + event_counts[1];
+        let opens_per_second = if duration_ms == 0 {
+            0.0
+        } else {
+            opens as f64 / (duration_ms as f64 / 1000.0)
+        };
+        let peak_opens_per_second = open_windows
+            .values()
+            .map(|&n| n as f64 / (WINDOW_MS as f64 / 1000.0))
+            .fold(0.0, f64::max);
+        TraceSummary {
+            duration_hours,
+            records: trace.len() as u64,
+            trace_file_bytes: trace.to_binary().len() as u64,
+            total_bytes_transferred: trace.sessions().total_bytes_transferred(),
+            event_counts,
+            opens_per_second,
+            peak_opens_per_second,
+        }
+    }
+
+    /// Count for one event kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        let idx = EventKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        self.event_counts[idx]
+    }
+
+    /// Fraction of all records that are of `kind`, in `[0, 1]`.
+    pub fn fraction(&self, kind: EventKind) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.count(kind) as f64 / self.records as f64
+        }
+    }
+
+    /// Total megabytes transferred (10^6 bytes, as the paper reports).
+    pub fn total_mbytes_transferred(&self) -> f64 {
+        self.total_bytes_transferred as f64 / 1e6
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Duration (hours)                 {:>10.1}", self.duration_hours)?;
+        writeln!(f, "Number of trace records          {:>10}", self.records)?;
+        writeln!(
+            f,
+            "Size of trace file (Mbytes)      {:>10.1}",
+            self.trace_file_bytes as f64 / 1e6
+        )?;
+        writeln!(
+            f,
+            "Total data transferred (Mbytes)  {:>10.1}",
+            self.total_mbytes_transferred()
+        )?;
+        for kind in EventKind::ALL {
+            writeln!(
+                f,
+                "{:<8} events                   {:>10} ({:.1}%)",
+                kind.name(),
+                self.count(kind),
+                100.0 * self.fraction(kind)
+            )?;
+        }
+        write!(
+            f,
+            "opens/sec avg {:.2}, peak (10 min) {:.2}",
+            self.opens_per_second, self.peak_opens_per_second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessMode;
+    use crate::trace::TraceBuilder;
+
+    fn build() -> TraceSummary {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f1 = b.new_file_id();
+        let o1 = b.open(0, f1, u, AccessMode::ReadOnly, 100, false);
+        b.close(100, o1, 100);
+        let f2 = b.new_file_id();
+        let o2 = b.open(200, f2, u, AccessMode::WriteOnly, 0, true);
+        b.seek(250, o2, 10, 20);
+        b.close(300, o2, 30);
+        b.truncate(400, f2, 0, u);
+        b.unlink(500, f2, u);
+        b.execve(3_600_000, f1, u, 100);
+        b.finish().summary()
+    }
+
+    #[test]
+    fn event_counts() {
+        let s = build();
+        assert_eq!(s.count(EventKind::Open), 1);
+        assert_eq!(s.count(EventKind::Create), 1);
+        assert_eq!(s.count(EventKind::Close), 2);
+        assert_eq!(s.count(EventKind::Seek), 1);
+        assert_eq!(s.count(EventKind::Truncate), 1);
+        assert_eq!(s.count(EventKind::Unlink), 1);
+        assert_eq!(s.count(EventKind::Execve), 1);
+        assert_eq!(s.records, 8);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = build();
+        let total: f64 = EventKind::ALL.iter().map(|&k| s.fraction(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_transferred_uses_billing_rule() {
+        let s = build();
+        // Session 1: whole 100-byte read. Session 2: run 0..10 (seek) and
+        // run 20..30 (close) = 20 bytes.
+        assert_eq!(s.total_bytes_transferred, 120);
+    }
+
+    #[test]
+    fn duration_and_rates() {
+        let s = build();
+        assert!((s.duration_hours - 1.0).abs() < 1e-9);
+        assert!(s.opens_per_second > 0.0);
+        assert!(s.peak_opens_per_second >= s.opens_per_second);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = Trace::default().summary();
+        assert_eq!(s.records, 0);
+        assert_eq!(s.fraction(EventKind::Open), 0.0);
+        assert_eq!(s.opens_per_second, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_kinds() {
+        let text = build().to_string();
+        for kind in EventKind::ALL {
+            assert!(text.contains(kind.name()), "missing {}", kind.name());
+        }
+    }
+}

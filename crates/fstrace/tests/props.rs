@@ -1,0 +1,140 @@
+//! Property-based tests for the trace format.
+
+use proptest::prelude::*;
+
+use fstrace::codec::{from_text, to_text};
+use fstrace::{
+    AccessMode, FileId, OpenId, Timestamp, Trace, TraceEvent, TraceRecord, UserId,
+};
+
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![
+        Just(AccessMode::ReadOnly),
+        Just(AccessMode::WriteOnly),
+        Just(AccessMode::ReadWrite),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (
+            0u64..1000,
+            0u64..1000,
+            0u32..64,
+            arb_mode(),
+            0u64..10_000_000,
+            any::<bool>()
+        )
+            .prop_map(|(o, f, u, mode, size, created)| TraceEvent::Open {
+                open_id: OpenId(o),
+                file_id: FileId(f),
+                user_id: UserId(u),
+                mode,
+                size,
+                created,
+            }),
+        (0u64..1000, 0u64..10_000_000).prop_map(|(o, p)| TraceEvent::Close {
+            open_id: OpenId(o),
+            final_pos: p,
+        }),
+        (0u64..1000, 0u64..10_000_000, 0u64..10_000_000).prop_map(|(o, a, b)| {
+            TraceEvent::Seek {
+                open_id: OpenId(o),
+                old_pos: a,
+                new_pos: b,
+            }
+        }),
+        (0u64..1000, 0u32..64).prop_map(|(f, u)| TraceEvent::Unlink {
+            file_id: FileId(f),
+            user_id: UserId(u),
+        }),
+        (0u64..1000, 0u64..10_000_000, 0u32..64).prop_map(|(f, l, u)| TraceEvent::Truncate {
+            file_id: FileId(f),
+            new_len: l,
+            user_id: UserId(u),
+        }),
+        (0u64..1000, 0u32..64, 0u64..10_000_000).prop_map(|(f, u, s)| TraceEvent::Execve {
+            file_id: FileId(f),
+            user_id: UserId(u),
+            size: s,
+        }),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..1_000_000u64, arb_event()), 0..200).prop_map(|pairs| {
+        Trace::from_records(
+            pairs
+                .into_iter()
+                .map(|(t, e)| TraceRecord::new(t, e))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Binary encode/decode is the identity on any trace.
+    #[test]
+    fn binary_roundtrip(trace in arb_trace()) {
+        let bytes = trace.to_binary();
+        let back = Trace::from_binary(&bytes).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Text encode/decode is the identity on any record.
+    #[test]
+    fn text_roundtrip(t in 0u64..1_000_000u64, e in arb_event()) {
+        let rec = TraceRecord::new(t, e);
+        let back = from_text(&to_text(&rec)).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    /// Timestamps quantize down and never up.
+    #[test]
+    fn timestamp_quantization(ms in 0u64..u64::MAX / 2) {
+        let t = Timestamp::from_ms(ms);
+        prop_assert!(t.as_ms() <= ms);
+        prop_assert!(ms - t.as_ms() < 10);
+        prop_assert_eq!(t.as_ms() % 10, 0);
+    }
+
+    /// Session reconstruction conserves transferred bytes: the sum over
+    /// runs equals the positional deltas implied by the raw events.
+    #[test]
+    fn sessions_conserve_bytes(
+        moves in prop::collection::vec((0u64..5000u64, 0u64..5000u64), 0..10),
+        final_extra in 0u64..5000u64,
+    ) {
+        // Build one well-formed session: seeks with old_pos = current pos
+        // + an advance, so every event is consistent.
+        let mut b = fstrace::TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        let o = b.open(0, f, u, AccessMode::ReadWrite, 10_000, false);
+        let mut pos = 0u64;
+        let mut expected = 0u64;
+        let mut time = 10u64;
+        for (advance, target) in moves {
+            let old = pos + advance;
+            expected += advance;
+            b.seek(time, o, old, target);
+            pos = target;
+            time += 10;
+        }
+        b.close(time, o, pos + final_extra);
+        expected += final_extra;
+        let trace = b.finish();
+        let sessions = trace.sessions();
+        prop_assert_eq!(sessions.anomalies(), 0);
+        prop_assert_eq!(sessions.total_bytes_transferred(), expected);
+    }
+
+    /// Summary event counts always sum to the record count.
+    #[test]
+    fn summary_counts_sum(trace in arb_trace()) {
+        let s = trace.summary();
+        let total: u64 = s.event_counts.iter().sum();
+        prop_assert_eq!(total, s.records);
+        prop_assert_eq!(s.records, trace.len() as u64);
+    }
+}

@@ -1,0 +1,324 @@
+//! Fixed-memory bucketed counters with weighted insertion.
+
+/// One bucket of a histogram: a half-open value range and its total weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Inclusive lower bound of the bucket's value range.
+    pub lo: u64,
+    /// Exclusive upper bound of the bucket's value range.
+    pub hi: u64,
+    /// Total weight accumulated in the bucket.
+    pub weight: u64,
+}
+
+/// A histogram with equal-width buckets over `[lo, lo + width * n)`.
+///
+/// Values below the range land in an underflow bucket and values at or
+/// above it in an overflow bucket, so no observation is ever lost.
+///
+/// # Examples
+///
+/// ```
+/// use simstat::LinearHistogram;
+///
+/// // Ten 1-kbyte buckets covering 0..10240 bytes.
+/// let mut h = LinearHistogram::new(0, 1024, 10);
+/// h.add(100);
+/// h.add(100);
+/// h.add(5000);
+/// assert_eq!(h.buckets()[0].weight, 2);
+/// assert_eq!(h.buckets()[4].weight, 1);
+/// assert_eq!(h.total_weight(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearHistogram {
+    lo: u64,
+    width: u64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl LinearHistogram {
+    /// Creates a histogram of `n` buckets of `width` starting at `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `n` is zero.
+    pub fn new(lo: u64, width: u64, n: usize) -> Self {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(n > 0, "bucket count must be positive");
+        Self {
+            lo,
+            width,
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation of `value` with weight 1.
+    pub fn add(&mut self, value: u64) {
+        self.add_weighted(value, 1);
+    }
+
+    /// Records an observation of `value` carrying `weight`.
+    ///
+    /// Weighted insertion is how byte-weighted distributions (Figures 1b,
+    /// 2b, 4b of the paper) are built: each file contributes its size in
+    /// bytes rather than a count of one.
+    pub fn add_weighted(&mut self, value: u64, weight: u64) {
+        if value < self.lo {
+            self.underflow += weight;
+            return;
+        }
+        let idx = ((value - self.lo) / self.width) as usize;
+        if idx >= self.counts.len() {
+            self.overflow += weight;
+        } else {
+            self.counts[idx] += weight;
+        }
+    }
+
+    /// Weight recorded below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Weight recorded at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total weight recorded, including under/overflow.
+    pub fn total_weight(&self) -> u64 {
+        self.underflow + self.overflow + self.counts.iter().sum::<u64>()
+    }
+
+    /// The in-range buckets, in increasing value order.
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &weight)| Bucket {
+                lo: self.lo + i as u64 * self.width,
+                hi: self.lo + (i as u64 + 1) * self.width,
+                weight,
+            })
+            .collect()
+    }
+
+    /// Fraction of total weight at values `< limit` (counting underflow,
+    /// approximating partial buckets by their lower edge).
+    ///
+    /// Returns `0.0` when the histogram is empty.
+    pub fn fraction_below(&self, limit: u64) -> f64 {
+        let total = self.total_weight();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        for b in self.buckets() {
+            if b.hi <= limit {
+                acc += b.weight;
+            }
+        }
+        acc as f64 / total as f64
+    }
+}
+
+/// A histogram with power-of-two buckets: `{0}`, `[1,2)`, `[2,4)`, `[4,8)`, …
+///
+/// Log-spaced buckets match the wide dynamic range of file sizes and
+/// durations in file system traces (bytes to megabytes, milliseconds to
+/// hours) with a few dozen buckets.
+///
+/// # Examples
+///
+/// ```
+/// use simstat::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// h.add(0);
+/// h.add(1);
+/// h.add(3);
+/// h.add(1000);
+/// assert_eq!(h.total_weight(), 4);
+/// let buckets = h.buckets();
+/// assert_eq!(buckets[0].lo, 0); // the {0} bucket
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// `counts[0]` holds value 0; `counts[k]` holds `[2^(k-1), 2^k)`.
+    counts: Vec<u64>,
+}
+
+impl LogHistogram {
+    /// Creates an empty log histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one observation of `value` with weight 1.
+    pub fn add(&mut self, value: u64) {
+        self.add_weighted(value, 1);
+    }
+
+    /// Records an observation of `value` carrying `weight`.
+    pub fn add_weighted(&mut self, value: u64, weight: u64) {
+        let idx = Self::bucket_index(value);
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += weight;
+    }
+
+    /// Total weight recorded.
+    pub fn total_weight(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The non-empty prefix of buckets, in increasing value order.
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &weight)| {
+                let (lo, hi) = if i == 0 {
+                    (0, 1)
+                } else {
+                    (1u64 << (i - 1), 1u64 << i)
+                };
+                Bucket { lo, hi, weight }
+            })
+            .collect()
+    }
+
+    /// Fraction of total weight at values `<= limit`, counting whole
+    /// buckets whose range lies at or below `limit`.
+    ///
+    /// Returns `0.0` when the histogram is empty.
+    pub fn fraction_le(&self, limit: u64) -> f64 {
+        let total = self.total_weight();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for b in self.buckets() {
+            if b.hi - 1 <= limit {
+                acc += b.weight;
+            }
+        }
+        acc as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_places_values_in_correct_buckets() {
+        let mut h = LinearHistogram::new(10, 5, 4); // [10,15) [15,20) [20,25) [25,30)
+        h.add(10);
+        h.add(14);
+        h.add(15);
+        h.add(29);
+        let b = h.buckets();
+        assert_eq!(b[0].weight, 2);
+        assert_eq!(b[1].weight, 1);
+        assert_eq!(b[2].weight, 0);
+        assert_eq!(b[3].weight, 1);
+    }
+
+    #[test]
+    fn linear_under_and_overflow() {
+        let mut h = LinearHistogram::new(10, 5, 2);
+        h.add(9);
+        h.add(20); // Exactly at the top edge: overflow.
+        h.add(100);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total_weight(), 3);
+    }
+
+    #[test]
+    fn linear_weighted_insertion() {
+        let mut h = LinearHistogram::new(0, 10, 2);
+        h.add_weighted(5, 100);
+        h.add_weighted(15, 50);
+        assert_eq!(h.buckets()[0].weight, 100);
+        assert_eq!(h.buckets()[1].weight, 50);
+        assert_eq!(h.total_weight(), 150);
+    }
+
+    #[test]
+    fn linear_fraction_below() {
+        let mut h = LinearHistogram::new(0, 10, 4);
+        for v in [1, 2, 3, 15, 25, 35] {
+            h.add(v);
+        }
+        assert!((h.fraction_below(10) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_below(40) - 1.0).abs() < 1e-12);
+        assert_eq!(h.fraction_below(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn linear_zero_width_panics() {
+        let _ = LinearHistogram::new(0, 0, 4);
+    }
+
+    #[test]
+    fn log_bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn log_add_and_ranges() {
+        let mut h = LogHistogram::new();
+        h.add(0);
+        h.add(1);
+        h.add(2);
+        h.add(3);
+        h.add(7);
+        let b = h.buckets();
+        assert_eq!(b[0], Bucket { lo: 0, hi: 1, weight: 1 });
+        assert_eq!(b[1], Bucket { lo: 1, hi: 2, weight: 1 });
+        assert_eq!(b[2], Bucket { lo: 2, hi: 4, weight: 2 });
+        assert_eq!(b[3], Bucket { lo: 4, hi: 8, weight: 1 });
+    }
+
+    #[test]
+    fn log_fraction_le() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.add(v);
+        }
+        // Buckets: [1,2) [2,4) [4,8) [8,16); each weight 1.
+        assert!((h.fraction_le(1) - 0.25).abs() < 1e-12);
+        assert!((h.fraction_le(3) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_le(7) - 0.75).abs() < 1e-12);
+        assert!((h.fraction_le(15) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_empty_fraction_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.fraction_le(100), 0.0);
+        assert_eq!(h.total_weight(), 0);
+    }
+}

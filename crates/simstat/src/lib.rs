@@ -1,0 +1,43 @@
+//! Streaming statistics for trace-driven simulation.
+//!
+//! This crate is the numerical substrate shared by the trace analyzer and
+//! the cache simulator. It provides:
+//!
+//! * [`OnlineStats`] — single-pass mean / standard deviation / extrema
+//!   (Welford's algorithm), used for the "± σ" entries of Table IV.
+//! * [`LinearHistogram`] and [`LogHistogram`] — fixed-memory bucketed
+//!   counters with weighted insertion, used for coarse distribution views.
+//! * [`Distribution`] — an exact empirical distribution over `u64` values
+//!   with per-sample weights; produces the cumulative curves of
+//!   Figures 1–4 of the paper.
+//! * [`WindowedSums`] — per-key activity accumulated over fixed time
+//!   windows, used for the active-user analysis of Table IV.
+//!
+//! All types are allocation-light, deterministic, and free of floating
+//! point except where a final ratio is reported.
+//!
+//! # Examples
+//!
+//! ```
+//! use simstat::Distribution;
+//!
+//! let mut d = Distribution::new();
+//! for len in [100u64, 200, 300, 400] {
+//!     d.add(len, 1);
+//! }
+//! assert_eq!(d.fraction_le(200), 0.5);
+//! assert_eq!(d.percentile(1.0), Some(400));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distribution;
+mod histogram;
+mod online;
+mod windows;
+
+pub use distribution::{CdfPoint, Distribution};
+pub use histogram::{Bucket, LinearHistogram, LogHistogram};
+pub use online::OnlineStats;
+pub use windows::{WindowStats, WindowedSums};

@@ -1,0 +1,92 @@
+//! `mktrace`: generate a synthetic trace and save it.
+//!
+//! ```text
+//! mktrace PROFILE [--hours H] [--seed S] [--out FILE] [--text]
+//!
+//! PROFILE: a5 | e3 | c4
+//! ```
+//!
+//! The default output is the compact binary format; `--text` writes one
+//! record per line instead. `tracefmt` (in the fstrace crate) converts
+//! between the two.
+
+use std::fs::File;
+use std::io::Write;
+use std::process::exit;
+
+use workload::{generate, MachineProfile, WorkloadConfig};
+
+fn main() {
+    let mut profile: Option<MachineProfile> = None;
+    let mut hours = 1.0f64;
+    let mut seed = 1985u64;
+    let mut out = "trace.fstr".to_string();
+    let mut text = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hours" => {
+                hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--out" | "-o" => {
+                out = args.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--text" => text = true,
+            "--help" | "-h" => {
+                println!("usage: mktrace a5|e3|c4 [--hours H] [--seed S] [--out FILE] [--text]");
+                return;
+            }
+            name => match MachineProfile::by_trace_name(name) {
+                Some(p) => profile = Some(p),
+                None => die(&format!("unknown profile {name} (use a5, e3 or c4)")),
+            },
+        }
+    }
+    let profile = profile.unwrap_or_else(|| die("missing profile (a5, e3 or c4)"));
+    eprintln!(
+        "generating {} ({}) for {hours} simulated hours, seed {seed} ...",
+        profile.trace_name, profile.name
+    );
+    let generated = generate(&WorkloadConfig {
+        profile,
+        seed,
+        duration_hours: hours,
+        ..WorkloadConfig::default()
+    })
+    .unwrap_or_else(|e| die(&format!("generation failed: {e}")));
+    let trace = generated.trace;
+    let mut file = File::create(&out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
+    let bytes = if text {
+        trace
+            .write_text(&mut file)
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
+        None
+    } else {
+        let b = trace.to_binary();
+        file.write_all(&b)
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
+        Some(b.len())
+    };
+    eprintln!(
+        "wrote {}: {} records{}",
+        out,
+        trace.len(),
+        bytes
+            .map(|n| format!(", {n} bytes"))
+            .unwrap_or_default()
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mktrace: {msg}");
+    exit(1);
+}

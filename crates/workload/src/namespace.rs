@@ -1,0 +1,280 @@
+//! Initial file system population for the traced machines.
+//!
+//! The namespace is built with the tracer *disabled* (the paper's traces
+//! start on systems already full of files), and mirrors a 1985 Berkeley
+//! machine: shared program binaries and headers, per-user home
+//! directories with sources and documents, mailboxes, a handful of
+//! ~1 Mbyte administrative files, printer spool and temp directories,
+//! and the per-host network status files the daemons rewrite.
+
+use bsdfs::{Fs, FsResult, OpenFlags};
+
+use crate::profile::MachineProfile;
+use crate::rng::Sampler;
+
+/// Paths to everything the workload actors touch.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    /// Shared program binaries under `/bin`.
+    pub bins: Vec<String>,
+    /// Shared C headers under `/usr/include`.
+    pub headers: Vec<String>,
+    /// Shared libraries under `/usr/lib`.
+    pub libs: Vec<String>,
+    /// Per-user document files.
+    pub docs: Vec<Vec<String>>,
+    /// Per-user C source files.
+    pub sources: Vec<Vec<String>>,
+    /// Per-user object files produced by compiles (grows at run time).
+    pub objects: Vec<Vec<String>>,
+    /// Per-user files created by `cp` (grows at run time; `rm` targets).
+    pub copies: Vec<Vec<String>>,
+    /// Per-user CAD circuit decks.
+    pub decks: Vec<Vec<String>>,
+    /// Per-user latest CAD output listing, if any.
+    pub listings: Vec<Option<String>>,
+    /// Per-user mailbox files.
+    pub mailboxes: Vec<String>,
+    /// Per-user home directories.
+    pub homes: Vec<String>,
+    /// The ~1 Mbyte administrative files (network tables, login log).
+    pub admin: Vec<String>,
+    /// Small shared configuration files read at program startup.
+    pub configs: Vec<String>,
+    /// Per-host status files the network daemon rewrites.
+    pub status: Vec<String>,
+    /// Spool files awaiting the printer daemon (path, ready time ms).
+    pub spool_queue: Vec<(String, u64)>,
+    /// Per-user index of the source file currently being worked on
+    /// (users edit and compile the same file many times in a row).
+    pub cur_source: Vec<usize>,
+    /// Per-user index of the document currently being read/formatted.
+    pub cur_doc: Vec<usize>,
+    /// Monotonic counter for unique temp/spool names.
+    pub serial: u64,
+}
+
+impl Namespace {
+    /// Allocates a unique serial number for temp file names.
+    pub fn next_serial(&mut self) -> u64 {
+        self.serial += 1;
+        self.serial
+    }
+}
+
+fn create_file(fs: &mut Fs, path: &str, size: u64) -> FsResult<()> {
+    let fd = fs.open(path, OpenFlags::create_write(), 0, 0)?;
+    if size > 0 {
+        fs.write(fd, size, 0)?;
+    }
+    fs.close(fd, 0)
+}
+
+/// Builds the initial tree for a profile. Tracing must be off; the
+/// caller re-enables it afterwards.
+pub fn build(fs: &mut Fs, rng: &mut Sampler, profile: &MachineProfile) -> FsResult<Namespace> {
+    let nusers = profile.users as usize;
+    for dir in [
+        "/bin",
+        "/etc",
+        "/etc/status",
+        "/lib",
+        "/tmp",
+        "/u",
+        "/usr",
+        "/usr/include",
+        "/usr/lib",
+        "/usr/spool",
+        "/usr/spool/lpd",
+    ] {
+        fs.mkdir(dir, 0, 0)?;
+    }
+
+    // Shared binaries: the commands users run, plus a population of
+    // other tools. Sizes follow a heavy-tailed log-normal, like real
+    // 1985 binaries (a few kbytes to a few hundred kbytes).
+    let mut bins = Vec::new();
+    for i in 0..70 {
+        let path = format!("/bin/cmd{i:02}");
+        let size = rng.lognormal(36_000.0, 1.0, 6_000, 400_000);
+        create_file(fs, &path, size)?;
+        bins.push(path);
+    }
+
+    let mut headers = Vec::new();
+    for i in 0..50 {
+        let path = format!("/usr/include/h{i:02}.h");
+        let size = rng.lognormal(2_500.0, 0.8, 200, 20_000);
+        create_file(fs, &path, size)?;
+        headers.push(path);
+    }
+
+    let mut libs = Vec::new();
+    for name in ["libc.a", "libm.a", "libcurses.a", "libtermcap.a", "libF77.a", "libplot.a"] {
+        let path = format!("/usr/lib/{name}");
+        let size = rng.lognormal(150_000.0, 0.5, 40_000, 600_000);
+        create_file(fs, &path, size)?;
+        libs.push(path);
+    }
+
+    // The large administrative files of Figure 2: each around 1 Mbyte.
+    let mut admin = Vec::new();
+    for name in ["nettable", "wtmp", "hostmap"] {
+        let path = format!("/etc/{name}");
+        let size = rng.range(900_000, 1_100_000);
+        create_file(fs, &path, size)?;
+        admin.push(path);
+    }
+
+    // Small shared configuration files: read constantly, written never.
+    let mut configs = Vec::new();
+    for (name, lo, hi) in [
+        ("passwd", 2_000u64, 12_000u64),
+        ("termcap", 8_000, 40_000),
+        ("ttys", 300, 1_500),
+        ("motd", 200, 2_000),
+        ("csh.cshrc", 300, 2_000),
+    ] {
+        let path = format!("/etc/{name}");
+        create_file(fs, &path, rng.range(lo, hi))?;
+        configs.push(path);
+    }
+
+    // Network status files, one per host, rewritten every 3 minutes.
+    let mut status = Vec::new();
+    for i in 0..profile.status_hosts {
+        let path = format!("/etc/status/host{i:02}");
+        create_file(fs, &path, rng.range(300, 1_500))?;
+        status.push(path);
+    }
+
+    // Per-user homes.
+    let mut docs = Vec::new();
+    let mut sources = Vec::new();
+    let mut decks = Vec::new();
+    let mut mailboxes = Vec::new();
+    let mut homes = Vec::new();
+    let is_cad = profile.trace_name == "c4";
+    for u in 0..nusers {
+        let home = format!("/u/user{u:02}");
+        fs.mkdir(&home, u as u32, 0)?;
+        let mut my_docs = Vec::new();
+        for d in 0..8 {
+            let path = format!("{home}/doc{d}.t");
+            create_file(fs, &path, rng.lognormal(6_000.0, 1.2, 200, 80_000))?;
+            my_docs.push(path);
+        }
+        let mut my_sources = Vec::new();
+        for s in 0..10 {
+            let path = format!("{home}/src{s}.c");
+            create_file(fs, &path, rng.lognormal(6_000.0, 1.0, 300, 60_000))?;
+            my_sources.push(path);
+        }
+        let mut my_decks = Vec::new();
+        if is_cad {
+            fs.mkdir(&format!("{home}/cad"), u as u32, 0)?;
+            for k in 0..5 {
+                let path = format!("{home}/cad/deck{k}");
+                create_file(fs, &path, rng.lognormal(25_000.0, 1.0, 2_000, 200_000))?;
+                my_decks.push(path);
+            }
+        }
+        create_file(fs, &format!("{home}/.cshrc"), rng.range(200, 2_500))?;
+        let mbox = format!("{home}/mbox");
+        create_file(fs, &mbox, rng.lognormal(15_000.0, 0.8, 1_000, 120_000))?;
+        mailboxes.push(mbox);
+        docs.push(my_docs);
+        sources.push(my_sources);
+        decks.push(my_decks);
+        homes.push(home);
+    }
+
+    Ok(Namespace {
+        bins,
+        headers,
+        libs,
+        docs,
+        sources,
+        objects: vec![Vec::new(); nusers],
+        copies: vec![Vec::new(); nusers],
+        cur_source: vec![0; nusers],
+        cur_doc: vec![0; nusers],
+        decks,
+        listings: vec![None; nusers],
+        mailboxes,
+        homes,
+        admin,
+        configs,
+        status,
+        spool_queue: Vec::new(),
+        serial: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsdfs::FsParams;
+
+    fn big_params() -> FsParams {
+        FsParams {
+            data_frags: 256 * 1024,
+            ..FsParams::bsd42()
+        }
+    }
+
+    #[test]
+    fn builds_full_tree_untraced() {
+        let mut fs = Fs::new(big_params()).unwrap();
+        fs.set_trace_enabled(false);
+        let mut rng = Sampler::new(1);
+        let profile = MachineProfile::ucbarpa();
+        let ns = build(&mut fs, &mut rng, &profile).unwrap();
+        assert_eq!(ns.bins.len(), 70);
+        assert_eq!(ns.headers.len(), 50);
+        assert_eq!(ns.admin.len(), 3);
+        assert_eq!(ns.status.len(), 20);
+        assert_eq!(ns.docs.len(), 28);
+        assert!(ns.decks.iter().all(|d| d.is_empty())); // Not CAD.
+        fs.set_trace_enabled(true);
+        assert!(fs.take_trace().is_empty());
+        // Everything exists and the tree is consistent.
+        assert!(fs.exists("/bin/cmd00"));
+        assert!(fs.exists("/etc/nettable"));
+        assert!(fs.exists("/u/user27/mbox"));
+        fs.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn cad_profile_gets_decks() {
+        let mut fs = Fs::new(big_params()).unwrap();
+        fs.set_trace_enabled(false);
+        let mut rng = Sampler::new(2);
+        let ns = build(&mut fs, &mut rng, &MachineProfile::ucbcad()).unwrap();
+        assert!(ns.decks.iter().all(|d| d.len() == 5));
+        assert!(fs.exists("/u/user00/cad/deck0"));
+    }
+
+    #[test]
+    fn admin_files_are_about_a_megabyte() {
+        let mut fs = Fs::new(big_params()).unwrap();
+        fs.set_trace_enabled(false);
+        let mut rng = Sampler::new(3);
+        let ns = build(&mut fs, &mut rng, &MachineProfile::ucbarpa()).unwrap();
+        for path in &ns.admin {
+            let size = fs.stat(path, 0).unwrap().size;
+            assert!((900_000..1_100_000).contains(&size), "{path}: {size}");
+        }
+    }
+
+    #[test]
+    fn serials_are_unique() {
+        let mut fs = Fs::new(big_params()).unwrap();
+        fs.set_trace_enabled(false);
+        let mut rng = Sampler::new(4);
+        let mut ns = build(&mut fs, &mut rng, &MachineProfile::ucbarpa()).unwrap();
+        let a = ns.next_serial();
+        let b = ns.next_serial();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! Machine profiles for the three traced systems.
+
+/// A user-visible command the workload can run, modeled after the
+/// programs the paper names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `ls`: open a directory as a file and read it whole (directories
+    /// are among the short files the paper counts).
+    List,
+    /// `cat`/`more`: whole-file read of a document.
+    ViewDoc,
+    /// An editor session: read the source, keep a temporary open for
+    /// minutes with occasional writes, then rewrite the source and
+    /// delete the temporary.
+    Edit,
+    /// `cc` then `as`: read source and shared headers, write an
+    /// assembler temporary, read it back, write the object file, delete
+    /// the temporary within seconds.
+    Compile,
+    /// `ld`: read several objects and shared libraries, write `a.out`.
+    Link,
+    /// Run a program: `execve`, read an input file, rewrite an output
+    /// file.
+    RunProgram,
+    /// Mail: mostly positioned reads of the mailbox, sometimes a
+    /// seek-to-end append (the paper's canonical read-write pattern).
+    Mail,
+    /// `nroff`/`troff`: read a document, write a printer spool file
+    /// (deleted by the spooler daemon shortly after).
+    Format,
+    /// Touch a ~1 Mbyte administrative file: seek to a position, then a
+    /// small read or write (network tables, login logs).
+    Admin,
+    /// CAD: read a circuit deck, "simulate" for a while, write a large
+    /// output listing.
+    CadSimulate,
+    /// CAD: read back the latest listing and delete it before the next
+    /// run.
+    CadInspect,
+    /// `cp`: whole-file read plus whole-file write.
+    Copy,
+    /// `rm`: delete an old object or copied file.
+    Remove,
+}
+
+/// Behavioral parameters for one traced machine.
+#[derive(Debug, Clone)]
+pub struct MachineProfile {
+    /// Machine name (e.g. "Ucbarpa").
+    pub name: &'static str,
+    /// Trace name in the paper's tables ("a5", "e3", "c4").
+    pub trace_name: &'static str,
+    /// User population (each alternates bursts of commands with idle
+    /// periods, so concurrent *active* users are fewer).
+    pub users: u32,
+    /// Mean commands per burst (exponential).
+    pub mean_burst_commands: f64,
+    /// Mean think time between commands within a burst (ms).
+    pub mean_think_ms: f64,
+    /// Mean idle time between bursts (ms).
+    pub mean_idle_ms: f64,
+    /// Relative weights for each command, paired with the kind.
+    pub command_mix: Vec<(CommandKind, f64)>,
+    /// Number of host status files the network daemon rewrites.
+    pub status_hosts: u32,
+    /// Daemon rewrite period in ms (the paper's machines used 3 min).
+    pub daemon_interval_ms: u64,
+    /// Probability that any command also appends to the login log (the
+    /// administrative files of Figure 2).
+    pub admin_touch_prob: f64,
+}
+
+impl MachineProfile {
+    /// Ucbarpa (trace A5): program development and document formatting
+    /// by graduate students and staff.
+    pub fn ucbarpa() -> Self {
+        use CommandKind::*;
+        MachineProfile {
+            name: "Ucbarpa",
+            trace_name: "a5",
+            users: 28,
+            mean_burst_commands: 15.0,
+            mean_think_ms: 12_000.0,
+            mean_idle_ms: 8.0 * 60_000.0,
+            command_mix: vec![
+                (List, 0.16),
+                (ViewDoc, 0.13),
+                (Edit, 0.11),
+                (Compile, 0.20),
+                (Link, 0.05),
+                (RunProgram, 0.10),
+                (Mail, 0.09),
+                (Format, 0.06),
+                (Admin, 0.04),
+                (Copy, 0.06),
+                (Remove, 0.04),
+            ],
+            status_hosts: 20,
+            daemon_interval_ms: 180_000,
+            admin_touch_prob: 0.06,
+        }
+    }
+
+    /// Ucbernie (trace E3): program development plus substantial
+    /// secretarial and administrative work.
+    pub fn ucbernie() -> Self {
+        use CommandKind::*;
+        MachineProfile {
+            name: "Ucbernie",
+            trace_name: "e3",
+            users: 40,
+            mean_burst_commands: 13.0,
+            mean_think_ms: 13_000.0,
+            mean_idle_ms: 9.0 * 60_000.0,
+            command_mix: vec![
+                (List, 0.15),
+                (ViewDoc, 0.15),
+                (Edit, 0.12),
+                (Compile, 0.12),
+                (Link, 0.03),
+                (RunProgram, 0.08),
+                (Mail, 0.13),
+                (Format, 0.10),
+                (Admin, 0.05),
+                (Copy, 0.04),
+                (Remove, 0.03),
+            ],
+            status_hosts: 20,
+            daemon_interval_ms: 180_000,
+            admin_touch_prob: 0.07,
+        }
+    }
+
+    /// Ucbcad (trace C4): integrated-circuit CAD tools — simulators,
+    /// layout editors, design-rule checkers.
+    pub fn ucbcad() -> Self {
+        use CommandKind::*;
+        MachineProfile {
+            name: "Ucbcad",
+            trace_name: "c4",
+            users: 16,
+            mean_burst_commands: 16.0,
+            mean_think_ms: 10_000.0,
+            mean_idle_ms: 6.0 * 60_000.0,
+            command_mix: vec![
+                (List, 0.13),
+                (ViewDoc, 0.08),
+                (Edit, 0.10),
+                (Compile, 0.09),
+                (Link, 0.03),
+                (RunProgram, 0.11),
+                (Mail, 0.05),
+                (Admin, 0.05),
+                (CadSimulate, 0.14),
+                (CadInspect, 0.12),
+                (Copy, 0.05),
+                (Remove, 0.05),
+            ],
+            status_hosts: 20,
+            daemon_interval_ms: 180_000,
+            admin_touch_prob: 0.05,
+        }
+    }
+
+    /// All three profiles, in the paper's column order.
+    pub fn all() -> Vec<MachineProfile> {
+        vec![Self::ucbarpa(), Self::ucbernie(), Self::ucbcad()]
+    }
+
+    /// Looks a profile up by trace name ("a5", "e3", "c4").
+    pub fn by_trace_name(name: &str) -> Option<MachineProfile> {
+        Self::all().into_iter().find(|p| p.trace_name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_are_normalizable() {
+        for p in MachineProfile::all() {
+            let total: f64 = p.command_mix.iter().map(|&(_, w)| w).sum();
+            assert!(total > 0.9 && total < 1.1, "{}: {total}", p.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_trace_name() {
+        assert_eq!(MachineProfile::by_trace_name("a5").unwrap().name, "Ucbarpa");
+        assert_eq!(MachineProfile::by_trace_name("e3").unwrap().name, "Ucbernie");
+        assert_eq!(MachineProfile::by_trace_name("c4").unwrap().name, "Ucbcad");
+        assert!(MachineProfile::by_trace_name("zz").is_none());
+    }
+
+    #[test]
+    fn cad_profile_has_cad_commands() {
+        let p = MachineProfile::ucbcad();
+        assert!(p
+            .command_mix
+            .iter()
+            .any(|&(k, _)| k == CommandKind::CadSimulate));
+        assert!(!MachineProfile::ucbarpa()
+            .command_mix
+            .iter()
+            .any(|&(k, _)| k == CommandKind::CadSimulate));
+    }
+
+    #[test]
+    fn daemon_period_is_three_minutes() {
+        for p in MachineProfile::all() {
+            assert_eq!(p.daemon_interval_ms, 180_000);
+        }
+    }
+}

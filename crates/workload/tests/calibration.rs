@@ -1,0 +1,139 @@
+//! Calibration regression tests: the generated traces must keep the
+//! paper's distribution shapes (loose bounds around Section 5's
+//! findings, wide enough to tolerate seed-to-seed variation).
+
+use fsanalysis::{
+    ActivityAnalysis, EventGapAnalysis, FileSizeAnalysis, LifetimeAnalysis, OpenTimeAnalysis,
+    SequentialityReport,
+};
+use fstrace::EventKind;
+use workload::{generate, GeneratedTrace, MachineProfile, WorkloadConfig};
+
+fn run(profile: MachineProfile) -> GeneratedTrace {
+    generate(&WorkloadConfig {
+        profile,
+        seed: 20_240_601,
+        duration_hours: 0.5,
+        ..WorkloadConfig::default()
+    })
+    .expect("workload generation")
+}
+
+#[test]
+fn a5_shape_matches_paper() {
+    check_shape(run(MachineProfile::ucbarpa()));
+}
+
+#[test]
+fn e3_shape_matches_paper() {
+    check_shape(run(MachineProfile::ucbernie()));
+}
+
+#[test]
+fn c4_shape_matches_paper() {
+    check_shape(run(MachineProfile::ucbcad()));
+}
+
+fn check_shape(out: GeneratedTrace) {
+    assert_eq!(out.errors, 0, "workload commands failed");
+    let trace = &out.trace;
+    let sessions = trace.sessions();
+    assert_eq!(sessions.anomalies(), 0);
+    assert!(trace.len() > 2_000, "trace too small: {}", trace.len());
+
+    // Event mix (Table III shape): opens dominate, seeks substantial,
+    // creates/unlinks a few percent, execve mid-single digits.
+    let s = trace.summary();
+    let frac = |k| s.fraction(k);
+    assert!(
+        (0.20..=0.40).contains(&frac(EventKind::Open)),
+        "open fraction {}",
+        frac(EventKind::Open)
+    );
+    assert!((0.05..=0.25).contains(&frac(EventKind::Seek)));
+    assert!((0.03..=0.15).contains(&frac(EventKind::Create)));
+    assert!((0.02..=0.10).contains(&frac(EventKind::Unlink)));
+    assert!((0.03..=0.12).contains(&frac(EventKind::Execve)));
+
+    // Table V: most accesses whole-file and sequential; read-write
+    // accesses mostly non-sequential.
+    let seq = SequentialityReport::analyze(&sessions);
+    assert!(
+        (0.60..=0.95).contains(&seq.whole_file_fraction()),
+        "whole-file {}",
+        seq.whole_file_fraction()
+    );
+    assert!(seq.read_only.sequential_fraction() > 0.85);
+    assert!(seq.write_only.sequential_fraction() > 0.85);
+    assert!(
+        seq.read_write.sequential_fraction() < 0.55,
+        "rw sequential {}",
+        seq.read_write.sequential_fraction()
+    );
+    assert!((0.35..=0.80).contains(&seq.whole_file_bytes_fraction()));
+    assert!((0.40..=0.90).contains(&seq.sequential_bytes_fraction()));
+
+    // Figure 2: most accesses are to short files, but they carry a
+    // minority of the bytes.
+    let mut sizes = FileSizeAnalysis::analyze(&sessions);
+    let acc_small = sizes.fraction_of_accesses_le(10 * 1024);
+    let bytes_small = sizes.fraction_of_bytes_le(10 * 1024);
+    assert!((0.60..=0.92).contains(&acc_small), "accesses<10K {acc_small}");
+    assert!(bytes_small < acc_small, "byte curve must lag access curve");
+    assert!(bytes_small < 0.5);
+
+    // Figure 3: files are open briefly.
+    let mut ot = OpenTimeAnalysis::analyze(&sessions);
+    assert!(
+        (0.65..=0.98).contains(&ot.fraction_le_secs(0.5)),
+        "open<0.5s {}",
+        ot.fraction_le_secs(0.5)
+    );
+    assert!(ot.fraction_le_secs(10.0) > 0.9);
+    assert!(ot.fraction_le_secs(10.0) < 1.0, "some long-open editor temps");
+
+    // Section 3.1: event gaps bound transfer times tightly.
+    let mut gaps = EventGapAnalysis::analyze(trace);
+    assert!(gaps.fraction_le_secs(0.5) > 0.7);
+    assert!(gaps.fraction_le_secs(30.0) > 0.9);
+
+    // Figure 4: short lifetimes, with the 3-minute daemon spike.
+    let mut lt = LifetimeAnalysis::analyze(trace);
+    assert!(lt.events.len() > 100, "too few deaths: {}", lt.events.len());
+    let spike = lt.fraction_of_files_between_secs(178.0, 182.0);
+    assert!(spike > 0.2, "daemon spike missing: {spike}");
+    assert!(lt.fraction_of_files_le_secs(300.0) > 0.7);
+
+    // Table IV: a few hundred bytes/second per active user over
+    // ten-minute windows, a few kbytes/second over ten-second windows.
+    let act = ActivityAnalysis::analyze(trace, &[600, 10]);
+    let thpt10m = act.windows[0].avg_throughput();
+    let thpt10s = act.windows[1].avg_throughput();
+    assert!(
+        (100.0..=1_500.0).contains(&thpt10m),
+        "10-min throughput/active {thpt10m}"
+    );
+    assert!(thpt10s > thpt10m, "short windows show burstiness");
+    assert!(act.windows[0].max_active <= 2 + u64::from(out.fs.params().ninodes)); // Sanity.
+
+    // The bsdfs name cache behaves like Leffler's (~85% hits).
+    assert!(
+        out.fs.ncache_stats().hit_ratio() > 0.80,
+        "name cache hit ratio {}",
+        out.fs.ncache_stats().hit_ratio()
+    );
+}
+
+/// The three profiles must be distinguishable but broadly similar, as
+/// the paper found ("The results are similar in all three traces").
+#[test]
+fn profiles_are_similar_but_distinct() {
+    let a5 = run(MachineProfile::ucbarpa());
+    let c4 = run(MachineProfile::ucbcad());
+    let seq_a = SequentialityReport::analyze(&a5.trace.sessions());
+    let seq_c = SequentialityReport::analyze(&c4.trace.sessions());
+    // Broad agreement on sequentiality…
+    assert!((seq_a.whole_file_fraction() - seq_c.whole_file_fraction()).abs() < 0.2);
+    // …but different traces.
+    assert_ne!(a5.trace.len(), c4.trace.len());
+}
