@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repository gate: formatting, lints, build, and the full test suite.
+# Run from the repo root; exits non-zero on the first failure.
+set -eu
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "ci.sh: all green"

@@ -96,7 +96,9 @@ fn bench_rw_handling(c: &mut Criterion) {
             ..CacheConfig::default()
         };
         let ios = Simulator::run(&t, &cfg).disk_ios();
-        g.bench_function(format!("{name}_ios_{ios}"), |b| b.iter(|| Simulator::run(&t, &cfg)));
+        g.bench_function(format!("{name}_ios_{ios}"), |b| {
+            b.iter(|| Simulator::run(&t, &cfg))
+        });
     }
     g.finish();
 }
@@ -106,7 +108,12 @@ fn bench_bsdfs_write_policies(c: &mut Criterion) {
     g.sample_size(10);
     for (name, policy) in [
         ("write_through", BufWritePolicy::WriteThrough),
-        ("flush_30s", BufWritePolicy::FlushBack { interval_ms: 30_000 }),
+        (
+            "flush_30s",
+            BufWritePolicy::FlushBack {
+                interval_ms: 30_000,
+            },
+        ),
         ("delayed", BufWritePolicy::DelayedWrite),
     ] {
         g.bench_function(name, |b| {

@@ -33,7 +33,9 @@ fn bench_codec(c: &mut Criterion) {
     trace.write_text(&mut text).unwrap();
     let text = String::from_utf8(text).unwrap();
     g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("decode_text", |b| b.iter(|| Trace::from_text(&text).unwrap()));
+    g.bench_function("decode_text", |b| {
+        b.iter(|| Trace::from_text(&text).unwrap())
+    });
     g.finish();
 }
 
@@ -56,7 +58,9 @@ fn bench_bsdfs(c: &mut Criterion) {
         fs.set_trace_enabled(false);
         fs.mkdir("/a", 0, 0).unwrap();
         fs.mkdir("/a/b", 0, 0).unwrap();
-        let fd = fs.open("/a/b/target", OpenFlags::create_write(), 0, 0).unwrap();
+        let fd = fs
+            .open("/a/b/target", OpenFlags::create_write(), 0, 0)
+            .unwrap();
         fs.close(fd, 0).unwrap();
         b.iter(|| fs.stat("/a/b/target", 1).unwrap());
     });

@@ -32,11 +32,21 @@ fn bench_experiments(c: &mut Criterion) {
     g.bench_function("table5_sequentiality", |b| {
         b.iter(|| experiments::table5::run(&set))
     });
-    g.bench_function("fig1_run_lengths", |b| b.iter(|| experiments::fig1::run(&set)));
-    g.bench_function("fig2_file_sizes", |b| b.iter(|| experiments::fig2::run(&set)));
-    g.bench_function("fig3_open_times", |b| b.iter(|| experiments::fig3::run(&set)));
-    g.bench_function("fig4_lifetimes", |b| b.iter(|| experiments::fig4::run(&set)));
-    g.bench_function("gaps_section31", |b| b.iter(|| experiments::gaps::run(&set)));
+    g.bench_function("fig1_run_lengths", |b| {
+        b.iter(|| experiments::fig1::run(&set))
+    });
+    g.bench_function("fig2_file_sizes", |b| {
+        b.iter(|| experiments::fig2::run(&set))
+    });
+    g.bench_function("fig3_open_times", |b| {
+        b.iter(|| experiments::fig3::run(&set))
+    });
+    g.bench_function("fig4_lifetimes", |b| {
+        b.iter(|| experiments::fig4::run(&set))
+    });
+    g.bench_function("gaps_section31", |b| {
+        b.iter(|| experiments::gaps::run(&set))
+    });
     g.bench_function("table6_fig5_cache_size_policy", |b| {
         b.iter(|| experiments::table6::run(&set))
     });

@@ -368,7 +368,12 @@ mod tests {
 
     #[test]
     fn flush_back_respects_interval() {
-        let (mut d, mut c) = setup(16 * 1024, BufWritePolicy::FlushBack { interval_ms: 30_000 });
+        let (mut d, mut c) = setup(
+            16 * 1024,
+            BufWritePolicy::FlushBack {
+                interval_ms: 30_000,
+            },
+        );
         c.modify(&mut d, 8, 1, true, |b| b[0] = 1);
         c.maybe_flush(&mut d, 10_000); // 10 s since start: below the interval.
         assert_eq!(d.peek(8, 1)[0], 0);
@@ -378,7 +383,12 @@ mod tests {
 
     #[test]
     fn flush_back_timing_exact() {
-        let (mut d, mut c) = setup(16 * 1024, BufWritePolicy::FlushBack { interval_ms: 30_000 });
+        let (mut d, mut c) = setup(
+            16 * 1024,
+            BufWritePolicy::FlushBack {
+                interval_ms: 30_000,
+            },
+        );
         // Prime last_flush to 0 via sync of an empty cache.
         c.sync(&mut d, 0);
         c.modify(&mut d, 8, 1, true, |b| b[0] = 1);

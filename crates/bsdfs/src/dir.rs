@@ -128,7 +128,10 @@ mod tests {
         assert!(check_name("..").is_err());
         assert!(check_name("a/b").is_err());
         assert!(check_name("a\0b").is_err());
-        assert_eq!(check_name(&"x".repeat(MAX_NAME + 1)), Err(FsError::NameTooLong));
+        assert_eq!(
+            check_name(&"x".repeat(MAX_NAME + 1)),
+            Err(FsError::NameTooLong)
+        );
         assert!(check_name(&"x".repeat(MAX_NAME)).is_ok());
     }
 

@@ -18,7 +18,9 @@ use crate::buf::{BufCache, BufCacheStats, BufWritePolicy};
 use crate::dir;
 use crate::disk::{Disk, DiskStats};
 use crate::error::{FsError, FsResult};
-use crate::inode::{FileType, Ino, Inode, InodeTable, InodeTableStats, INODE_SIZE, NDIRECT, ROOT_INO};
+use crate::inode::{
+    FileType, Ino, Inode, InodeTable, InodeTableStats, INODE_SIZE, NDIRECT, ROOT_INO,
+};
 use crate::params::FsParams;
 use crate::tracer::Tracer;
 
@@ -654,8 +656,9 @@ impl Fs {
                 if let Some(buf) = out.as_deref_mut() {
                     let dst_lo = (lo - pos) as usize;
                     let dst_hi = (hi - pos) as usize;
-                    buf[dst_lo..dst_hi]
-                        .copy_from_slice(&b[(lo - block_start) as usize..(hi - block_start) as usize]);
+                    buf[dst_lo..dst_hi].copy_from_slice(
+                        &b[(lo - block_start) as usize..(hi - block_start) as usize],
+                    );
                 }
             });
         }
@@ -697,7 +700,8 @@ impl Fs {
                             kept.copy_from_slice(&b[..keep_len]);
                         });
                     self.bcache.invalidate(addr as u64);
-                    self.falloc.free(addr as u64 + new_tail as u64, old_tail - new_tail);
+                    self.falloc
+                        .free(addr as u64 + new_tail as u64, old_tail - new_tail);
                     self.bcache
                         .modify(&mut self.disk, addr as u64, new_tail, true, |b| {
                             b.copy_from_slice(&kept);
@@ -1619,7 +1623,9 @@ mod tests {
         let mut f = fs();
         f.mkdir("/usr", 0, 0).unwrap();
         f.mkdir("/usr/src", 0, 1).unwrap();
-        let fd = f.open("/usr/src/main.c", OpenFlags::create_write(), 1, 2).unwrap();
+        let fd = f
+            .open("/usr/src/main.c", OpenFlags::create_write(), 1, 2)
+            .unwrap();
         f.write(fd, 1234, 3).unwrap();
         f.close(fd, 4).unwrap();
         assert_eq!(f.stat("/usr/src/main.c", 5).unwrap().size, 1234);
@@ -1917,7 +1923,10 @@ mod tests {
         f.close(fd, 2).unwrap();
         f.link("/orig", "/alias", 1, 3).unwrap();
         assert_eq!(f.stat("/alias", 4).unwrap().nlink, 2);
-        assert_eq!(f.stat("/alias", 5).unwrap().ino, f.stat("/orig", 5).unwrap().ino);
+        assert_eq!(
+            f.stat("/alias", 5).unwrap().ino,
+            f.stat("/orig", 5).unwrap().ino
+        );
         // Removing one name keeps the data alive under the other.
         f.unlink("/orig", 1, 6).unwrap();
         let fd = f.open("/alias", OpenFlags::read_only(), 1, 7).unwrap();
@@ -1954,7 +1963,9 @@ mod tests {
         assert_eq!(f.stat("/dst/b", 5).unwrap().size, 100);
 
         // Rename over an existing file replaces it.
-        let fd = f.open("/dst/victim", OpenFlags::create_write(), 1, 6).unwrap();
+        let fd = f
+            .open("/dst/victim", OpenFlags::create_write(), 1, 6)
+            .unwrap();
         f.write(fd, 50, 7).unwrap();
         f.close(fd, 8).unwrap();
         f.rename("/dst/b", "/dst/victim", 1, 9).unwrap();

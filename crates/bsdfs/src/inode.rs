@@ -120,12 +120,7 @@ impl Inode {
         };
         let mut direct = [0u32; NDIRECT];
         for (i, d) in direct.iter_mut().enumerate() {
-            *d = u32::from_le_bytes([
-                b[44 + i * 4],
-                b[45 + i * 4],
-                b[46 + i * 4],
-                b[47 + i * 4],
-            ]);
+            *d = u32::from_le_bytes([b[44 + i * 4], b[45 + i * 4], b[46 + i * 4], b[47 + i * 4]]);
         }
         Some(Inode {
             itype,

@@ -279,7 +279,11 @@ impl BlockCache {
         let Some(blocks) = self.per_file.get(&file) else {
             return;
         };
-        let doomed: Vec<u64> = blocks.iter().copied().filter(|&b| b >= first_block).collect();
+        let doomed: Vec<u64> = blocks
+            .iter()
+            .copied()
+            .filter(|&b| b >= first_block)
+            .collect();
         for block in doomed {
             let id = BlockId { file, block };
             if let Some(&i) = self.map.get(&id) {
@@ -445,7 +449,9 @@ mod tests {
     #[test]
     fn flush_back_writes_at_interval() {
         let mut config = cfg(8);
-        config.write_policy = WritePolicy::FlushBack { interval_ms: 30_000 };
+        config.write_policy = WritePolicy::FlushBack {
+            interval_ms: 30_000,
+        };
         let mut c = BlockCache::new(&config);
         c.write(bid(1, 0), true, 1_000);
         c.read(bid(1, 0), 2_000); // Within interval: no flush.

@@ -19,8 +19,12 @@ impl WritePolicy {
     /// The paper's four columns, in Table VI order.
     pub const TABLE_VI: [WritePolicy; 4] = [
         WritePolicy::WriteThrough,
-        WritePolicy::FlushBack { interval_ms: 30_000 },
-        WritePolicy::FlushBack { interval_ms: 300_000 },
+        WritePolicy::FlushBack {
+            interval_ms: 30_000,
+        },
+        WritePolicy::FlushBack {
+            interval_ms: 300_000,
+        },
         WritePolicy::DelayedWrite,
     ];
 
@@ -96,7 +100,9 @@ impl Default for CacheConfig {
         CacheConfig {
             cache_bytes: 400 * 1024,
             block_size: 4096,
-            write_policy: WritePolicy::FlushBack { interval_ms: 30_000 },
+            write_policy: WritePolicy::FlushBack {
+                interval_ms: 30_000,
+            },
             replacement: Replacement::Lru,
             whole_block_elision: true,
             invalidate_on_delete: true,
@@ -137,11 +143,17 @@ mod tests {
     fn policy_names() {
         assert_eq!(WritePolicy::WriteThrough.name(), "write-through");
         assert_eq!(
-            WritePolicy::FlushBack { interval_ms: 30_000 }.name(),
+            WritePolicy::FlushBack {
+                interval_ms: 30_000
+            }
+            .name(),
             "30 sec flush"
         );
         assert_eq!(
-            WritePolicy::FlushBack { interval_ms: 300_000 }.name(),
+            WritePolicy::FlushBack {
+                interval_ms: 300_000
+            }
+            .name(),
             "5 min flush"
         );
         assert_eq!(WritePolicy::DelayedWrite.name(), "delayed write");

@@ -58,9 +58,11 @@ mod config;
 mod metrics;
 mod replay;
 mod series;
+pub mod sweep;
 
 pub use cache::{BlockCache, BlockId};
 pub use config::{CacheConfig, Replacement, RwHandling, WritePolicy};
 pub use metrics::CacheMetrics;
-pub use replay::{replay_events, ReplayEvent, Replayer, Simulator};
+pub use replay::{expansion_count, replay_events, ReplayEvent, Replayer, Simulator};
 pub use series::{MissSeries, SeriesPoint};
+pub use sweep::ExpansionKey;

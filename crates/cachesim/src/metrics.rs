@@ -3,7 +3,10 @@
 use simstat::Distribution;
 
 /// Counters and distributions produced by one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is exact (all fields are integer counters or integer
+/// distributions), so two runs can be checked for bit-identical results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CacheMetrics {
     /// Logical block read accesses.
     pub logical_reads: u64,

@@ -77,10 +77,26 @@ impl ReplayEvent {
     }
 }
 
+/// Process-wide count of trace expansions performed by
+/// [`replay_events`].
+///
+/// Expansion dominates sweep setup cost, so the sweep engine is careful
+/// to do it once per (trace, expansion-relevant options) group; tests
+/// read this counter to verify that sharing actually happens. Counts
+/// monotonically across the whole process — callers should diff
+/// before/after values rather than compare absolutes.
+static EXPANSIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Returns the process-wide [`replay_events`] invocation count.
+pub fn expansion_count() -> u64 {
+    EXPANSIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Expands a trace into time-ordered replay events under a configuration
 /// (the `rw_handling` and `simulate_paging` options affect the
 /// expansion).
 pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
+    EXPANSIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let sessions = trace.sessions();
     let mut events: Vec<ReplayEvent> = Vec::new();
     for s in sessions.all() {
@@ -94,25 +110,21 @@ pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
                     len: r.len,
                     write: false,
                 }),
-                (AccessMode::WriteOnly, _)
-                | (AccessMode::ReadWrite, RwHandling::Write) => {
-                    events.push(ReplayEvent::Transfer {
+                (AccessMode::WriteOnly, _) | (AccessMode::ReadWrite, RwHandling::Write) => events
+                    .push(ReplayEvent::Transfer {
                         time_ms,
                         file: s.file_id,
                         offset: r.offset,
                         len: r.len,
                         write: true,
-                    })
-                }
-                (AccessMode::ReadWrite, RwHandling::Read) => {
-                    events.push(ReplayEvent::Transfer {
-                        time_ms,
-                        file: s.file_id,
-                        offset: r.offset,
-                        len: r.len,
-                        write: false,
-                    })
-                }
+                    }),
+                (AccessMode::ReadWrite, RwHandling::Read) => events.push(ReplayEvent::Transfer {
+                    time_ms,
+                    file: s.file_id,
+                    offset: r.offset,
+                    len: r.len,
+                    write: false,
+                }),
                 (AccessMode::ReadWrite, RwHandling::Both) => {
                     events.push(ReplayEvent::Transfer {
                         time_ms,
@@ -225,63 +237,63 @@ impl Replayer {
         let sizes = &mut self.sizes;
         self.end_time = self.end_time.max(ev.time());
         match *ev {
-                ReplayEvent::SizeHint { file, size, .. } => {
-                    let e = sizes.entry(file).or_insert(size);
-                    *e = (*e).max(size);
+            ReplayEvent::SizeHint { file, size, .. } => {
+                let e = sizes.entry(file).or_insert(size);
+                *e = (*e).max(size);
+            }
+            ReplayEvent::Transfer {
+                time_ms,
+                file,
+                offset,
+                len,
+                write,
+            } => {
+                if len == 0 {
+                    return;
                 }
-                ReplayEvent::Transfer {
-                    time_ms,
-                    file,
-                    offset,
-                    len,
-                    write,
-                } => {
-                    if len == 0 {
-                        return;
-                    }
-                    let size = sizes.entry(file).or_insert(0);
-                    let end = offset + len;
-                    let old_size = *size;
-                    *size = old_size.max(end);
-                    for block in offset / bs..=(end - 1) / bs {
-                        let id = BlockId { file, block };
-                        if write {
-                            let bstart = block * bs;
-                            let bend = bstart + bs;
-                            let old_valid = old_size.saturating_sub(bstart).min(bs);
-                            let covered_hi = end.min(bend);
-                            // No fetch is needed when the write covers
-                            // every previously valid byte of the block
-                            // (including the trivial case of none).
-                            let whole =
-                                old_valid == 0 || (offset <= bstart && covered_hi >= bstart + old_valid);
-                            cache.write(id, whole, time_ms);
-                        } else {
-                            cache.read(id, time_ms);
-                        }
-                    }
-                }
-                ReplayEvent::TruncateTo {
-                    time_ms,
-                    file,
-                    new_len,
-                } => {
-                    let size = sizes.entry(file).or_insert(0);
-                    *size = (*size).min(new_len);
-                    if config.invalidate_on_delete {
-                        if new_len == 0 {
-                            cache.invalidate_file(file, time_ms);
-                        } else {
-                            cache.invalidate_beyond(file, new_len.div_ceil(bs), time_ms);
-                        }
+                let size = sizes.entry(file).or_insert(0);
+                let end = offset + len;
+                let old_size = *size;
+                *size = old_size.max(end);
+                for block in offset / bs..=(end - 1) / bs {
+                    let id = BlockId { file, block };
+                    if write {
+                        let bstart = block * bs;
+                        let bend = bstart + bs;
+                        let old_valid = old_size.saturating_sub(bstart).min(bs);
+                        let covered_hi = end.min(bend);
+                        // No fetch is needed when the write covers
+                        // every previously valid byte of the block
+                        // (including the trivial case of none).
+                        let whole = old_valid == 0
+                            || (offset <= bstart && covered_hi >= bstart + old_valid);
+                        cache.write(id, whole, time_ms);
+                    } else {
+                        cache.read(id, time_ms);
                     }
                 }
-                ReplayEvent::Delete { time_ms, file } => {
-                    sizes.remove(&file);
-                    if config.invalidate_on_delete {
+            }
+            ReplayEvent::TruncateTo {
+                time_ms,
+                file,
+                new_len,
+            } => {
+                let size = sizes.entry(file).or_insert(0);
+                *size = (*size).min(new_len);
+                if config.invalidate_on_delete {
+                    if new_len == 0 {
                         cache.invalidate_file(file, time_ms);
+                    } else {
+                        cache.invalidate_beyond(file, new_len.div_ceil(bs), time_ms);
                     }
                 }
+            }
+            ReplayEvent::Delete { time_ms, file } => {
+                sizes.remove(&file);
+                if config.invalidate_on_delete {
+                    cache.invalidate_file(file, time_ms);
+                }
+            }
         }
     }
 }
@@ -449,7 +461,9 @@ mod tests {
         let o = b.open(31_000, g, u, AccessMode::ReadOnly, 4_096, false);
         b.close(31_100, o, 4_096);
         let mut config = cfg();
-        config.write_policy = WritePolicy::FlushBack { interval_ms: 30_000 };
+        config.write_policy = WritePolicy::FlushBack {
+            interval_ms: 30_000,
+        };
         let m = Simulator::run(&b.finish(), &config);
         assert_eq!(m.disk_writes, 1);
     }

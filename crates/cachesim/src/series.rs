@@ -82,10 +82,7 @@ impl MissSeries {
             accesses: now_acc - last.0,
             disk_ios: now_ios - last.1,
         });
-        MissSeries {
-            window_ms,
-            points,
-        }
+        MissSeries { window_ms, points }
     }
 
     /// Miss ratio over the last `n` windows — the warmed-up estimate.

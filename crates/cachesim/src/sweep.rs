@@ -1,0 +1,236 @@
+//! Parallel configuration sweeps sharing one trace expansion.
+//!
+//! Every experiment in Section 6 evaluates a *grid* of configurations
+//! against the same trace: cache sizes × write policies (Table VI),
+//! block sizes × cache sizes (Table VII), cache sizes with and without
+//! paging (Figure 7). Expanding the trace into [`ReplayEvent`]s
+//! dominates the setup cost of each run, yet the expansion depends on
+//! only two of the configuration fields — [`CacheConfig::rw_handling`]
+//! and [`CacheConfig::simulate_paging`] (see [`ExpansionKey`]). All
+//! other fields (cache size, block size, write policy, replacement,
+//! elision, invalidation) only change how the *same* event stream is
+//! consumed.
+//!
+//! [`run`] therefore groups the requested configurations by expansion
+//! key, materializes each group's event vector **once**, and fans the
+//! per-configuration simulations out over a scoped thread pool that
+//! borrows the events read-only. Results come back indexed exactly like
+//! the input slice, so output is deterministic regardless of the thread
+//! count — and because [`Simulator::run_events`] is itself
+//! deterministic, every metric is bit-identical to what a sequential
+//! [`Simulator::run`] of that configuration would produce.
+//!
+//! The engine is dependency-free: plain [`std::thread::scope`] workers
+//! pulling indices from an atomic counter, defaulting to
+//! [`std::thread::available_parallelism`] threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use fstrace::Trace;
+
+use crate::config::{CacheConfig, RwHandling};
+use crate::metrics::CacheMetrics;
+use crate::replay::{replay_events, Simulator};
+
+/// The subset of [`CacheConfig`] that [`replay_events`] depends on.
+///
+/// Configurations with equal keys can share one expanded event vector;
+/// any field *not* in this key is guaranteed not to affect expansion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionKey {
+    /// How read-write runs are billed (changes which `Transfer` events
+    /// exist and their direction).
+    pub rw_handling: RwHandling,
+    /// Whether `execve` records expand into program-image reads.
+    pub simulate_paging: bool,
+}
+
+impl ExpansionKey {
+    /// Extracts the expansion-relevant fields of a configuration.
+    pub fn of(config: &CacheConfig) -> Self {
+        ExpansionKey {
+            rw_handling: config.rw_handling,
+            simulate_paging: config.simulate_paging,
+        }
+    }
+}
+
+/// Process-wide default worker count; 0 means "ask the OS".
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by [`run`].
+///
+/// `0` restores the automatic default
+/// ([`std::thread::available_parallelism`]). The `repro --jobs N` flag
+/// calls this once at startup so every experiment sweep picks it up.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// The worker count [`run`] will use: the [`set_default_jobs`] override
+/// if set, otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    match DEFAULT_JOBS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Simulates every configuration against the trace using
+/// [`default_jobs`] worker threads. See [`run_with_jobs`].
+pub fn run(trace: &Trace, configs: &[CacheConfig]) -> Vec<(CacheConfig, CacheMetrics)> {
+    run_with_jobs(trace, configs, default_jobs())
+}
+
+/// Simulates every configuration against the trace on `jobs` worker
+/// threads, expanding the trace once per [`ExpansionKey`] group.
+///
+/// The result vector is ordered exactly like `configs`, and each entry
+/// is bit-identical to `Simulator::run(trace, &config)` for that
+/// configuration, for any `jobs >= 1`.
+pub fn run_with_jobs(
+    trace: &Trace,
+    configs: &[CacheConfig],
+    jobs: usize,
+) -> Vec<(CacheConfig, CacheMetrics)> {
+    // Group config indices by expansion key, preserving first-seen
+    // order. At most 6 distinct keys exist, so a linear scan beats a
+    // hash map.
+    let mut groups: Vec<(ExpansionKey, Vec<usize>)> = Vec::new();
+    for (i, c) in configs.iter().enumerate() {
+        let key = ExpansionKey::of(c);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, idxs)) => idxs.push(i),
+            None => groups.push((key, vec![i])),
+        }
+    }
+
+    let mut slots: Vec<Option<CacheMetrics>> = vec![None; configs.len()];
+    for (_, idxs) in &groups {
+        // One expansion for the whole group, borrowed by every worker.
+        let events = replay_events(trace, &configs[idxs[0]]);
+        let workers = jobs.max(1).min(idxs.len());
+        if workers <= 1 {
+            for &i in idxs {
+                slots[i] = Some(Simulator::run_events(&events, &configs[i]));
+            }
+            continue;
+        }
+        let next = AtomicUsize::new(0);
+        let done = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out: Vec<(usize, CacheMetrics)> = Vec::new();
+                        loop {
+                            let n = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = idxs.get(n) else { break };
+                            out.push((i, Simulator::run_events(&events, &configs[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("sweep worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (i, m) in done {
+            slots[i] = Some(m);
+        }
+    }
+
+    configs
+        .iter()
+        .cloned()
+        .zip(slots.into_iter().map(|m| m.expect("every slot filled")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WritePolicy;
+    use fstrace::{AccessMode, TraceBuilder};
+
+    fn small_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        for i in 0..24u64 {
+            let f = b.new_file_id();
+            let t = i * 500;
+            let o = b.open(t, f, u, AccessMode::ReadOnly, 8_192, false);
+            b.close(t + 100, o, 8_192);
+            if i % 3 == 0 {
+                let o = b.open(t + 200, f, u, AccessMode::WriteOnly, 8_192, false);
+                b.close(t + 300, o, 4_096);
+            }
+            b.execve(t + 400, f, u, 16_384);
+        }
+        b.finish()
+    }
+
+    fn grid() -> Vec<CacheConfig> {
+        let mut v = Vec::new();
+        for cache_kb in [64u64, 256] {
+            for policy in WritePolicy::TABLE_VI {
+                v.push(CacheConfig {
+                    cache_bytes: cache_kb * 1024,
+                    write_policy: policy,
+                    ..CacheConfig::default()
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn matches_sequential_runs() {
+        let trace = small_trace();
+        let configs = grid();
+        for jobs in [1, 2, 8] {
+            let swept = run_with_jobs(&trace, &configs, jobs);
+            assert_eq!(swept.len(), configs.len());
+            for (i, (c, m)) in swept.iter().enumerate() {
+                assert_eq!(*c, configs[i], "order must match input");
+                assert_eq!(*m, Simulator::run(&trace, c), "jobs={jobs} config {i}");
+            }
+        }
+    }
+
+    // Expansion-count sharing is asserted in tests/sharing.rs, which
+    // runs in its own process: the counter is process-global, and
+    // concurrent unit tests would perturb before/after diffs here.
+
+    #[test]
+    fn paging_key_differs_and_changes_results() {
+        let plain = CacheConfig::default();
+        let paging = CacheConfig {
+            simulate_paging: true,
+            ..CacheConfig::default()
+        };
+        assert_ne!(ExpansionKey::of(&plain), ExpansionKey::of(&paging));
+        let trace = small_trace();
+        let out = run_with_jobs(&trace, &[plain, paging], 2);
+        assert!(out[1].1.logical_reads > out[0].1.logical_reads);
+    }
+
+    #[test]
+    fn empty_and_single_config_edge_cases() {
+        let trace = small_trace();
+        assert!(run_with_jobs(&trace, &[], 4).is_empty());
+        let one = run_with_jobs(&trace, &[CacheConfig::default()], 4);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].1, Simulator::run(&trace, &CacheConfig::default()));
+    }
+
+    #[test]
+    fn default_jobs_override_round_trips() {
+        set_default_jobs(3);
+        assert_eq!(default_jobs(), 3);
+        set_default_jobs(0);
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Expansion-sharing verification.
+//!
+//! The counter behind [`cachesim::expansion_count`] is process-global,
+//! so every assertion lives in this single test function: integration
+//! tests in one binary run concurrently, and any other test that
+//! triggered an expansion would perturb a before/after diff.
+
+use cachesim::{sweep, CacheConfig, WritePolicy};
+use fstrace::{AccessMode, Trace, TraceBuilder};
+
+fn trace() -> Trace {
+    let mut b = TraceBuilder::new();
+    let u = b.new_user_id();
+    for i in 0..16u64 {
+        let f = b.new_file_id();
+        let t = i * 1_000;
+        let o = b.open(t, f, u, AccessMode::ReadOnly, 12_288, false);
+        b.close(t + 100, o, 12_288);
+        b.execve(t + 500, f, u, 8_192);
+    }
+    b.finish()
+}
+
+#[test]
+fn sweep_expands_once_per_group() {
+    let trace = trace();
+
+    // A full Table VI-shaped grid (sizes x policies) shares one key.
+    let grid: Vec<CacheConfig> = [128u64, 512, 2048]
+        .iter()
+        .flat_map(|&kb| {
+            WritePolicy::TABLE_VI.into_iter().map(move |p| CacheConfig {
+                cache_bytes: kb * 1024,
+                write_policy: p,
+                ..CacheConfig::default()
+            })
+        })
+        .collect();
+    let before = cachesim::expansion_count();
+    sweep::run_with_jobs(&trace, &grid, 4);
+    assert_eq!(
+        cachesim::expansion_count() - before,
+        1,
+        "12 same-key configs must share one expansion"
+    );
+
+    // Block size is consumption-only: mixing block sizes still shares.
+    let blocks: Vec<CacheConfig> = [1u64, 4, 16, 32]
+        .iter()
+        .map(|&kb| CacheConfig {
+            block_size: kb * 1024,
+            ..CacheConfig::default()
+        })
+        .collect();
+    let before = cachesim::expansion_count();
+    sweep::run_with_jobs(&trace, &blocks, 4);
+    assert_eq!(cachesim::expansion_count() - before, 1);
+
+    // Paging flips the expansion key: exactly one extra expansion.
+    let mut mixed = grid;
+    mixed.push(CacheConfig {
+        simulate_paging: true,
+        ..CacheConfig::default()
+    });
+    let before = cachesim::expansion_count();
+    sweep::run_with_jobs(&trace, &mixed, 4);
+    assert_eq!(
+        cachesim::expansion_count() - before,
+        2,
+        "paging on/off groups expand separately"
+    );
+}

@@ -1,11 +1,14 @@
 //! `repro`: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--hours H] [--seed S]
+//! repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N]
 //!
 //! EXPERIMENT: all (default) | table1 | table3 | table4 | table5 |
 //!             fig1 | fig2 | fig3 | fig4 | gaps | table6 | table7 |
 //!             fig7 | residency | compare
+//!
+//! --jobs N caps the worker threads the cache-simulation sweeps use
+//! (default: all available cores). Results are identical for any N.
 //! ```
 
 use bsdtrace::{experiments, ReproConfig, TraceSet};
@@ -28,9 +31,17 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--jobs" => {
+                let jobs: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                cachesim::sweep::set_default_jobs(jobs);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT] [--hours H] [--seed S]\n\
+                    "usage: repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N]\n\
                      experiments: all table1 table3 table4 table5 fig1 fig2 fig3 fig4\n\
                      \x20            gaps table6 table7 fig7 residency compare ablations server"
                 );
@@ -43,8 +54,17 @@ fn main() {
 
     let needs_all_traces = matches!(
         which.as_str(),
-        "all" | "table1" | "table3" | "table4" | "table5" | "fig1" | "fig2" | "fig3" | "fig4"
-            | "gaps" | "server"
+        "all"
+            | "table1"
+            | "table3"
+            | "table4"
+            | "table5"
+            | "fig1"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "gaps"
+            | "server"
     );
     eprintln!(
         "generating {} trace(s), {} simulated hour(s), seed {} ...",
@@ -90,8 +110,22 @@ fn main() {
 
     if which == "all" {
         for name in [
-            "table1", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "gaps",
-            "table6", "table7", "fig7", "residency", "compare", "ablations", "server",
+            "table1",
+            "table3",
+            "table4",
+            "table5",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "gaps",
+            "table6",
+            "table7",
+            "fig7",
+            "residency",
+            "compare",
+            "ablations",
+            "server",
         ] {
             run_one(name);
         }

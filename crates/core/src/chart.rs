@@ -91,7 +91,11 @@ pub fn render(
         .enumerate()
         .map(|(i, c)| format!("{} = {}", marks[i % marks.len()], c.label))
         .collect();
-    let _ = writeln!(out, "       {x_name}   [{}; @ = overlap]", legend.join(", "));
+    let _ = writeln!(
+        out,
+        "       {x_name}   [{}; @ = overlap]",
+        legend.join(", ")
+    );
     out
 }
 

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use cachesim::{replay_events, CacheConfig, Replacement, RwHandling, Simulator, WritePolicy};
+use cachesim::{sweep, CacheConfig, Replacement, RwHandling, WritePolicy};
 
 use crate::report::{pct, Table};
 use crate::TraceSet;
@@ -37,55 +37,59 @@ pub fn run(set: &TraceSet) -> Ablations {
         write_policy: WritePolicy::DelayedWrite,
         ..CacheConfig::default()
     };
-    let events = replay_events(trace, &base);
-    let measure = |cfg: &CacheConfig, name: &str| {
-        let m = Simulator::run_events(&events, cfg);
-        Variant {
-            name: name.to_string(),
-            disk_ios: m.disk_ios(),
-            miss_ratio: m.miss_ratio(),
-        }
-    };
-    let baseline = measure(&base, "baseline (LRU, elision, invalidation)");
-    let mut variants = Vec::new();
-    variants.push(measure(
-        &CacheConfig {
-            replacement: Replacement::Fifo,
-            ..base.clone()
-        },
-        "FIFO replacement",
-    ));
-    variants.push(measure(
-        &CacheConfig {
-            whole_block_elision: false,
-            ..base.clone()
-        },
-        "no whole-block-overwrite elision",
-    ));
-    variants.push(measure(
-        &CacheConfig {
-            invalidate_on_delete: false,
-            ..base.clone()
-        },
-        "no delete/overwrite invalidation",
-    ));
-    // Read-write billing alternatives need their own event expansion.
-    for (name, rw) in [
-        ("read-write runs billed as reads", RwHandling::Read),
-        ("read-write runs billed as both", RwHandling::Both),
-    ] {
-        let cfg = CacheConfig {
-            rw_handling: rw,
-            ..base.clone()
-        };
-        let ev = replay_events(trace, &cfg);
-        let m = Simulator::run_events(&ev, &cfg);
-        variants.push(Variant {
-            name: name.to_string(),
+    // The sweep engine groups these by expansion key: the first four
+    // share the baseline expansion, and each read-write billing variant
+    // gets its own (rw_handling changes the event stream itself).
+    let variants_spec: Vec<(String, CacheConfig)> = vec![
+        ("baseline (LRU, elision, invalidation)".into(), base.clone()),
+        (
+            "FIFO replacement".into(),
+            CacheConfig {
+                replacement: Replacement::Fifo,
+                ..base.clone()
+            },
+        ),
+        (
+            "no whole-block-overwrite elision".into(),
+            CacheConfig {
+                whole_block_elision: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no delete/overwrite invalidation".into(),
+            CacheConfig {
+                invalidate_on_delete: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "read-write runs billed as reads".into(),
+            CacheConfig {
+                rw_handling: RwHandling::Read,
+                ..base.clone()
+            },
+        ),
+        (
+            "read-write runs billed as both".into(),
+            CacheConfig {
+                rw_handling: RwHandling::Both,
+                ..base.clone()
+            },
+        ),
+    ];
+    let configs: Vec<CacheConfig> = variants_spec.iter().map(|(_, c)| c.clone()).collect();
+    let results = sweep::run(trace, &configs);
+    let mut measured = variants_spec
+        .into_iter()
+        .zip(results)
+        .map(|((name, _), (_, m))| Variant {
+            name,
             disk_ios: m.disk_ios(),
             miss_ratio: m.miss_ratio(),
         });
-    }
+    let baseline = measured.next().expect("baseline present");
+    let variants = measured.collect();
     Ablations { baseline, variants }
 }
 

@@ -39,7 +39,9 @@ pub fn run(set: &TraceSet) -> Comparisons {
     let cfg = CacheConfig {
         cache_bytes: 400 * 1024,
         block_size: 4096,
-        write_policy: WritePolicy::FlushBack { interval_ms: 30_000 },
+        write_policy: WritePolicy::FlushBack {
+            interval_ms: 30_000,
+        },
         ..CacheConfig::default()
     };
     let sim = Simulator::run(&entry.out.trace, &cfg);

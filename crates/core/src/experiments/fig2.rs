@@ -10,16 +10,7 @@ use crate::TraceSet;
 /// Byte grid matching Figure 2's x-axis (up to the ~1 Mbyte
 /// administrative files).
 pub const GRID_BYTES: [u64; 10] = [
-    1_024,
-    2_048,
-    5_120,
-    10_240,
-    25_600,
-    51_200,
-    102_400,
-    256_000,
-    512_000,
-    1_200_000,
+    1_024, 2_048, 5_120, 10_240, 25_600, 51_200, 102_400, 256_000, 512_000, 1_200_000,
 ];
 
 /// Measured Figure 2 curves.

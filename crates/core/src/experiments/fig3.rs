@@ -54,15 +54,21 @@ impl fmt::Display for Fig3 {
             .zip(analyses.iter_mut())
             .map(|(name, a)| Curve {
                 label: name.clone(),
-                points: GRID_SECS.iter().map(|&g| (g, a.fraction_le_secs(g))).collect(),
+                points: GRID_SECS
+                    .iter()
+                    .map(|&g| (g, a.fraction_le_secs(g)))
+                    .collect(),
             })
             .collect();
         write!(
             f,
             "{}",
-            render("  cumulative % of files vs open time", "open time (s)", &curves, &|x| {
-                format!("{x}s")
-            })
+            render(
+                "  cumulative % of files vs open time",
+                "open time (s)",
+                &curves,
+                &|x| { format!("{x}s") }
+            )
         )
     }
 }

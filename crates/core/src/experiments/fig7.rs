@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use cachesim::{CacheConfig, Simulator, WritePolicy};
+use cachesim::{sweep, CacheConfig, WritePolicy};
 
 use crate::chart::{render, Curve};
 use crate::report::Table;
@@ -30,25 +30,31 @@ pub struct Fig7 {
 }
 
 /// Runs the paging comparison on the A5 trace (delayed write, 4 KB).
+///
+/// Two expansion groups: all the paging-off points share one event
+/// vector, all the paging-on points another.
 pub fn run(set: &TraceSet) -> Fig7 {
     let trace = &set.a5().out.trace;
-    let points = CACHE_MB
+    let configs: Vec<CacheConfig> = CACHE_MB
         .iter()
-        .map(|&mb| {
-            let mut cfg = CacheConfig {
+        .flat_map(|&mb| {
+            [false, true].into_iter().map(move |paging| CacheConfig {
                 cache_bytes: mb << 20,
                 block_size: 4096,
                 write_policy: WritePolicy::DelayedWrite,
+                simulate_paging: paging,
                 ..CacheConfig::default()
-            };
-            let without = Simulator::run(trace, &cfg).miss_ratio();
-            cfg.simulate_paging = true;
-            let with = Simulator::run(trace, &cfg).miss_ratio();
-            Point {
-                cache_mb: mb,
-                without_paging: without,
-                with_paging: with,
-            }
+            })
+        })
+        .collect();
+    let results = sweep::run(trace, &configs);
+    let points = results
+        .chunks(2)
+        .zip(CACHE_MB)
+        .map(|(pair, mb)| Point {
+            cache_mb: mb,
+            without_paging: pair[0].1.miss_ratio(),
+            with_paging: pair[1].1.miss_ratio(),
         })
         .collect();
     Fig7 { points }
@@ -61,7 +67,8 @@ impl Fig7 {
         let first = &self.points[0];
         let last = self.points.last().expect("nonempty sweep");
         first.with_paging > first.without_paging
-            && (last.with_paging - last.without_paging) < (first.with_paging - first.without_paging) / 2.0
+            && (last.with_paging - last.without_paging)
+                < (first.with_paging - first.without_paging) / 2.0
     }
 }
 

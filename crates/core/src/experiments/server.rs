@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use cachesim::{replay_events, CacheConfig, Simulator, WritePolicy};
+use cachesim::{sweep, CacheConfig, WritePolicy};
 use fstrace::Trace;
 
 use crate::chart::{render, Curve};
@@ -59,35 +59,32 @@ pub fn run(set: &TraceSet) -> Server {
         ids.dedup();
         ids.len() as u64
     };
-    let base = CacheConfig {
-        block_size: 4096,
-        write_policy: WritePolicy::DelayedWrite,
-        ..CacheConfig::default()
-    };
-    let events = replay_events(&merged, &base);
-    let points = CACHE_MB
+    let configs: Vec<CacheConfig> = CACHE_MB
         .iter()
-        .map(|&mb| {
-            let dw = Simulator::run_events(
-                &events,
-                &CacheConfig {
-                    cache_bytes: mb << 20,
-                    ..base.clone()
+        .flat_map(|&mb| {
+            [
+                WritePolicy::DelayedWrite,
+                WritePolicy::FlushBack {
+                    interval_ms: 30_000,
                 },
-            );
-            let fb = Simulator::run_events(
-                &events,
-                &CacheConfig {
-                    cache_bytes: mb << 20,
-                    write_policy: WritePolicy::FlushBack { interval_ms: 30_000 },
-                    ..base.clone()
-                },
-            );
-            Point {
-                cache_mb: mb,
-                miss_ratio: dw.miss_ratio(),
-                miss_ratio_flush: fb.miss_ratio(),
-            }
+            ]
+            .into_iter()
+            .map(move |policy| CacheConfig {
+                cache_bytes: mb << 20,
+                block_size: 4096,
+                write_policy: policy,
+                ..CacheConfig::default()
+            })
+        })
+        .collect();
+    let results = sweep::run(&merged, &configs);
+    let points = results
+        .chunks(2)
+        .zip(CACHE_MB)
+        .map(|(pair, mb)| Point {
+            cache_mb: mb,
+            miss_ratio: pair[0].1.miss_ratio(),
+            miss_ratio_flush: pair[1].1.miss_ratio(),
         })
         .collect();
     Server {

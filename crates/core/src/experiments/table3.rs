@@ -36,7 +36,10 @@ impl fmt::Display for Table3 {
         };
         t.row(row(
             "Duration (hours)",
-            self.summaries.iter().map(|s| f1(s.duration_hours)).collect(),
+            self.summaries
+                .iter()
+                .map(|s| f1(s.duration_hours))
+                .collect(),
         ));
         t.row(row(
             "Number of trace records",
@@ -74,8 +77,8 @@ impl fmt::Display for Table3 {
         ));
         t.note("Paper event mix (a5): create 3.8%, open 31.9%, close 35.7%, seek 18.5%,");
         t.note("unlink 3.8%, truncate 0.1%, execve 6.1%; 2-3 files opened/sec at peak.");
-        t.note("Synthetic traces carry more creates and fewer seeks than the 1985");
-        t.note("systems; see EXPERIMENTS.md for the shape comparison.");
+        t.note("Synthetic mixes are calibrated to these shares (seeks within a");
+        t.note("few percent, creates slightly high); see EXPERIMENTS.md.");
         write!(f, "{t}")
     }
 }

@@ -33,7 +33,10 @@ impl fmt::Display for Table5 {
         let mut headers = vec!["Measure"];
         headers.extend(self.names.iter().map(String::as_str));
         headers.push("paper (a5/e3/c4)");
-        let mut t = Table::new("Table V. Data tends to be transferred sequentially", &headers);
+        let mut t = Table::new(
+            "Table V. Data tends to be transferred sequentially",
+            &headers,
+        );
         let paper3 = |v: &[f64; 3]| format!("{:.0}/{:.0}/{:.0}%", v[0], v[1], v[2]);
         let mut row = |label: &str, get: &dyn Fn(&SequentialityReport) -> f64, p: String| {
             let mut r = vec![label.to_string()];

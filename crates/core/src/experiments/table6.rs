@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use cachesim::{replay_events, CacheConfig, Simulator, WritePolicy};
+use cachesim::{sweep, CacheConfig, WritePolicy};
 
 use crate::chart::{render, Curve};
 use crate::paper;
@@ -27,32 +27,36 @@ pub struct Table6 {
     pub cells: Vec<Vec<Cell>>,
 }
 
-/// Runs the 6 × 4 sweep on the A5 trace.
+/// Runs the 6 × 4 sweep on the A5 trace (one shared expansion, all
+/// cells simulated in parallel).
 pub fn run(set: &TraceSet) -> Table6 {
     let trace = &set.a5().out.trace;
-    let base = CacheConfig {
-        block_size: 4096,
-        ..CacheConfig::default()
-    };
-    let events = replay_events(trace, &base);
-    let mut cells = Vec::new();
-    for &size_kb in &paper::TABLE_VI_SIZES_KB {
-        let mut row = Vec::new();
-        for policy in WritePolicy::TABLE_VI {
-            let cfg = CacheConfig {
-                cache_bytes: size_kb * 1024,
-                write_policy: policy,
-                ..base.clone()
-            };
-            let m = Simulator::run_events(&events, &cfg);
-            row.push(Cell {
-                cache_kb: size_kb,
-                policy,
-                miss_ratio: m.miss_ratio(),
-            });
-        }
-        cells.push(row);
-    }
+    let configs: Vec<CacheConfig> = paper::TABLE_VI_SIZES_KB
+        .iter()
+        .flat_map(|&size_kb| {
+            WritePolicy::TABLE_VI
+                .into_iter()
+                .map(move |policy| CacheConfig {
+                    cache_bytes: size_kb * 1024,
+                    block_size: 4096,
+                    write_policy: policy,
+                    ..CacheConfig::default()
+                })
+        })
+        .collect();
+    let results = sweep::run(trace, &configs);
+    let cells = results
+        .chunks(WritePolicy::TABLE_VI.len())
+        .map(|row| {
+            row.iter()
+                .map(|(cfg, m)| Cell {
+                    cache_kb: cfg.cache_bytes / 1024,
+                    policy: cfg.write_policy,
+                    miss_ratio: m.miss_ratio(),
+                })
+                .collect()
+        })
+        .collect();
     Table6 { cells }
 }
 
@@ -64,9 +68,7 @@ impl Table6 {
         for r in 1..self.cells.len() {
             for c in 0..self.cells[r].len() {
                 if self.cells[r][c].miss_ratio > self.cells[r - 1][c].miss_ratio + 1e-9 {
-                    v.push(format!(
-                        "miss rose with cache size at row {r} col {c}"
-                    ));
+                    v.push(format!("miss rose with cache size at row {r} col {c}"));
                 }
             }
         }

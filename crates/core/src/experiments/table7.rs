@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use cachesim::{replay_events, CacheConfig, Simulator, WritePolicy};
+use cachesim::{sweep, CacheConfig, WritePolicy};
 
 use crate::paper;
 use crate::report::{count, Table};
@@ -28,33 +28,33 @@ pub struct Table7 {
 }
 
 /// Runs the block-size × cache-size sweep on the A5 trace.
+///
+/// The block size only changes how the event stream is *consumed*, not
+/// how it expands, so the whole grid shares a single expansion.
 pub fn run(set: &TraceSet) -> Table7 {
     let trace = &set.a5().out.trace;
-    let mut rows = Vec::new();
-    for &bs_kb in &paper::TABLE_VII_BLOCK_KB {
-        let base = CacheConfig {
-            block_size: bs_kb * 1024,
-            write_policy: WritePolicy::DelayedWrite,
-            ..CacheConfig::default()
-        };
-        let events = replay_events(trace, &base);
-        let mut accesses = 0;
-        let mut disk_ios = Vec::new();
-        for &cache_kb in &paper::TABLE_VII_CACHE_KB {
-            let cfg = CacheConfig {
-                cache_bytes: cache_kb * 1024,
-                ..base.clone()
-            };
-            let m = Simulator::run_events(&events, &cfg);
-            accesses = m.logical_accesses();
-            disk_ios.push(m.disk_ios());
-        }
-        rows.push(Row {
-            block_kb: bs_kb,
-            accesses,
-            disk_ios,
-        });
-    }
+    let configs: Vec<CacheConfig> = paper::TABLE_VII_BLOCK_KB
+        .iter()
+        .flat_map(|&bs_kb| {
+            paper::TABLE_VII_CACHE_KB
+                .iter()
+                .map(move |&cache_kb| CacheConfig {
+                    block_size: bs_kb * 1024,
+                    cache_bytes: cache_kb * 1024,
+                    write_policy: WritePolicy::DelayedWrite,
+                    ..CacheConfig::default()
+                })
+        })
+        .collect();
+    let results = sweep::run(trace, &configs);
+    let rows = results
+        .chunks(paper::TABLE_VII_CACHE_KB.len())
+        .map(|row| Row {
+            block_kb: row[0].0.block_size / 1024,
+            accesses: row.last().expect("nonempty row").1.logical_accesses(),
+            disk_ios: row.iter().map(|(_, m)| m.disk_ios()).collect(),
+        })
+        .collect();
     Table7 { rows }
 }
 

@@ -28,7 +28,8 @@ pub const TABLE_IV_ACTIVE_10MIN: [(f64, f64); 3] = [(11.7, 5.8), (18.7, 10.1), (
 /// Table IV: average throughput per active user over 10-minute
 /// intervals in bytes/second (mean, σ). Reconstructed: the scan prints
 /// "37 (± 29)" etc. with trailing zeros lost.
-pub const TABLE_IV_THROUGHPUT_10MIN: [(f64, f64); 3] = [(370.0, 290.0), (280.0, 190.0), (570.0, 760.0)];
+pub const TABLE_IV_THROUGHPUT_10MIN: [(f64, f64); 3] =
+    [(370.0, 290.0), (280.0, 190.0), (570.0, 760.0)];
 
 /// Table IV: average active users over 10-second intervals (mean, σ).
 pub const TABLE_IV_ACTIVE_10SEC: [(f64, f64); 3] = [(2.5, 1.5), (3.3, 2.0), (1.7, 1.1)];

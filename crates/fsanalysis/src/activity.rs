@@ -95,7 +95,11 @@ impl ActivityAnalysis {
                 let mut throughput_per_active = OnlineStats::new();
                 // Rescale byte sums to bytes/second by re-deriving from
                 // the per-(window,user) population.
-                scale_into(&stats.sum_per_active, secs as f64, &mut throughput_per_active);
+                scale_into(
+                    &stats.sum_per_active,
+                    secs as f64,
+                    &mut throughput_per_active,
+                );
                 ActivityWindow {
                     window_secs: secs,
                     max_active: stats.max_active,

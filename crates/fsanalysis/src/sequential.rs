@@ -209,10 +209,7 @@ mod tests {
     fn byte_accounting() {
         let r = SequentialityReport::analyze(&sample());
         assert_eq!(r.total_bytes(), 1000 + 400 + 100 + 400 + 600);
-        assert_eq!(
-            r.whole_file_bytes_fraction(),
-            (1000 + 600) as f64 / 2500.0
-        );
+        assert_eq!(r.whole_file_bytes_fraction(), (1000 + 600) as f64 / 2500.0);
         assert_eq!(
             r.sequential_bytes_fraction(),
             (1000 + 400 + 100 + 600) as f64 / 2500.0

@@ -1,11 +1,11 @@
 //! Property-based tests: the analyzers against brute-force recomputation
 //! on randomly generated (but well-formed) traces.
 
-use fstrace::{AccessMode, Trace, TraceBuilder};
 use fsanalysis::{
-    ActivityAnalysis, FileSizeAnalysis, LifetimeAnalysis, RunLengthAnalysis,
-    SequentialityReport, UserAnalysis,
+    ActivityAnalysis, FileSizeAnalysis, LifetimeAnalysis, RunLengthAnalysis, SequentialityReport,
+    UserAnalysis,
 };
+use fstrace::{AccessMode, Trace, TraceBuilder};
 use proptest::prelude::*;
 
 /// One randomly shaped session: (user, open size, seek targets with
@@ -29,14 +29,16 @@ fn arb_session() -> impl Strategy<Value = SessionSpec> {
         any::<bool>(),
         0u8..3,
     )
-        .prop_map(|(user, size, moves, final_advance, created, mode)| SessionSpec {
-            user,
-            size,
-            moves,
-            final_advance,
-            created,
-            mode,
-        })
+        .prop_map(
+            |(user, size, moves, final_advance, created, mode)| SessionSpec {
+                user,
+                size,
+                moves,
+                final_advance,
+                created,
+                mode,
+            },
+        )
 }
 
 /// Builds a trace from specs, returning expected per-session run lists.

@@ -87,9 +87,7 @@ fn main() {
             }
         }
         _ => {
-            eprintln!(
-                "usage: tracefmt dump FILE | pack FILE OUT | summary FILE | sessions FILE"
-            );
+            eprintln!("usage: tracefmt dump FILE | pack FILE OUT | summary FILE | sessions FILE");
             exit(2);
         }
     }

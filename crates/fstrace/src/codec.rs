@@ -413,7 +413,10 @@ pub fn to_text(rec: &TraceRecord) -> String {
                 AccessMode::WriteOnly => "w",
                 AccessMode::ReadWrite => "rw",
             };
-            format!("{t} {name} {} {} {} {m} {size}", open_id.0, file_id.0, user_id.0)
+            format!(
+                "{t} {name} {} {} {} {m} {size}",
+                open_id.0, file_id.0, user_id.0
+            )
         }
         TraceEvent::Close { open_id, final_pos } => {
             format!("{t} close {} {final_pos}", open_id.0)

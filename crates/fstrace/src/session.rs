@@ -271,7 +271,10 @@ impl SessionSet {
 
     /// Total bytes transferred across all sessions.
     pub fn total_bytes_transferred(&self) -> u64 {
-        self.sessions.iter().map(OpenSession::bytes_transferred).sum()
+        self.sessions
+            .iter()
+            .map(OpenSession::bytes_transferred)
+            .sum()
     }
 }
 

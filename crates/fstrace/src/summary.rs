@@ -45,14 +45,20 @@ impl TraceSummary {
     /// Computes the summary for a trace.
     pub fn compute(trace: &Trace) -> Self {
         let mut event_counts = [0u64; 7];
-        let mut open_windows: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut open_windows: std::collections::HashMap<u64, u64> =
+            std::collections::HashMap::new();
         const WINDOW_MS: u64 = 600_000; // 10 minutes.
         for rec in trace.records() {
             let kind = rec.event.kind();
-            let idx = EventKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+            let idx = EventKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .expect("kind in ALL");
             event_counts[idx] += 1;
             if matches!(kind, EventKind::Open | EventKind::Create) {
-                *open_windows.entry(rec.time.as_ms() / WINDOW_MS).or_insert(0) += 1;
+                *open_windows
+                    .entry(rec.time.as_ms() / WINDOW_MS)
+                    .or_insert(0) += 1;
             }
         }
         let duration_ms = trace.duration_ms();
@@ -80,7 +86,10 @@ impl TraceSummary {
 
     /// Count for one event kind.
     pub fn count(&self, kind: EventKind) -> u64 {
-        let idx = EventKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        let idx = EventKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL");
         self.event_counts[idx]
     }
 
@@ -101,7 +110,11 @@ impl TraceSummary {
 
 impl fmt::Display for TraceSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Duration (hours)                 {:>10.1}", self.duration_hours)?;
+        writeln!(
+            f,
+            "Duration (hours)                 {:>10.1}",
+            self.duration_hours
+        )?;
         writeln!(f, "Number of trace records          {:>10}", self.records)?;
         writeln!(
             f,

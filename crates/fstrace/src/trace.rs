@@ -63,7 +63,10 @@ impl Trace {
 
     /// Time of the last record.
     pub fn end_time(&self) -> Timestamp {
-        self.records.last().map(|r| r.time).unwrap_or(Timestamp::ZERO)
+        self.records
+            .last()
+            .map(|r| r.time)
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Reconstructs per-open sessions (see [`SessionSet`]).
@@ -154,7 +157,9 @@ impl Trace {
             .records
             .iter()
             .filter(|r| match r.event {
-                TraceEvent::Open { open_id, user_id, .. } => {
+                TraceEvent::Open {
+                    open_id, user_id, ..
+                } => {
                     if user_id == user {
                         keep.insert(open_id);
                         true

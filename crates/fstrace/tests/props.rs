@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 
 use fstrace::codec::{from_text, to_text};
-use fstrace::{
-    AccessMode, FileId, OpenId, Timestamp, Trace, TraceEvent, TraceRecord, UserId,
-};
+use fstrace::{AccessMode, FileId, OpenId, Timestamp, Trace, TraceEvent, TraceRecord, UserId};
 
 fn arb_mode() -> impl Strategy<Value = AccessMode> {
     prop_oneof![

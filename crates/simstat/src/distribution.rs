@@ -28,7 +28,7 @@ pub struct CdfPoint {
 /// assert_eq!(d.percentile(0.5), Some(20));
 /// assert_eq!(d.total_weight(), 4);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Distribution {
     /// (value, weight) pairs; sorted by value iff `sorted`.
     samples: Vec<(u64, u64)>,
@@ -133,11 +133,7 @@ impl Distribution {
         if self.total_weight == 0 {
             return 0.0;
         }
-        let sum: f64 = self
-            .samples
-            .iter()
-            .map(|&(v, w)| v as f64 * w as f64)
-            .sum();
+        let sum: f64 = self.samples.iter().map(|&(v, w)| v as f64 * w as f64).sum();
         sum / self.total_weight as f64
     }
 

@@ -296,10 +296,38 @@ mod tests {
         h.add(3);
         h.add(7);
         let b = h.buckets();
-        assert_eq!(b[0], Bucket { lo: 0, hi: 1, weight: 1 });
-        assert_eq!(b[1], Bucket { lo: 1, hi: 2, weight: 1 });
-        assert_eq!(b[2], Bucket { lo: 2, hi: 4, weight: 2 });
-        assert_eq!(b[3], Bucket { lo: 4, hi: 8, weight: 1 });
+        assert_eq!(
+            b[0],
+            Bucket {
+                lo: 0,
+                hi: 1,
+                weight: 1
+            }
+        );
+        assert_eq!(
+            b[1],
+            Bucket {
+                lo: 1,
+                hi: 2,
+                weight: 1
+            }
+        );
+        assert_eq!(
+            b[2],
+            Bucket {
+                lo: 2,
+                hi: 4,
+                weight: 2
+            }
+        );
+        assert_eq!(
+            b[3],
+            Bucket {
+                lo: 4,
+                hi: 8,
+                weight: 1
+            }
+        );
     }
 
     #[test]

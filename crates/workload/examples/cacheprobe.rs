@@ -3,22 +3,43 @@ use cachesim::{replay_events, CacheConfig, Simulator, WritePolicy};
 use workload::{generate, MachineProfile, WorkloadConfig};
 
 fn main() {
-    let hours: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2.0);
     let out = generate(&WorkloadConfig {
-        profile: MachineProfile::ucbarpa(), seed: 1985, duration_hours: hours, ..Default::default()
-    }).unwrap();
+        profile: MachineProfile::ucbarpa(),
+        seed: 1985,
+        duration_hours: hours,
+        ..Default::default()
+    })
+    .unwrap();
     let trace = &out.trace;
-    println!("trace: {} records, {:.1} MB", trace.len(), trace.summary().total_mbytes_transferred());
+    println!(
+        "trace: {} records, {:.1} MB",
+        trace.len(),
+        trace.summary().total_mbytes_transferred()
+    );
 
     // Table VI: miss ratio vs cache size x write policy, 4 KB blocks.
-    let base = CacheConfig { block_size: 4096, ..CacheConfig::default() };
+    let base = CacheConfig {
+        block_size: 4096,
+        ..CacheConfig::default()
+    };
     let events = replay_events(trace, &base);
     println!("\nTable VI (miss ratio %, 4KB blocks)");
-    println!("{:>10} {:>8} {:>8} {:>8} {:>8}", "size", "wthru", "30s", "5min", "delayed");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8}",
+        "size", "wthru", "30s", "5min", "delayed"
+    );
     for size_kb in [390u64, 1024, 2048, 4096, 8192, 16384] {
         print!("{:>9}K", size_kb);
         for policy in WritePolicy::TABLE_VI {
-            let cfg = CacheConfig { cache_bytes: size_kb * 1024, write_policy: policy, ..base.clone() };
+            let cfg = CacheConfig {
+                cache_bytes: size_kb * 1024,
+                write_policy: policy,
+                ..base.clone()
+            };
             let m = Simulator::run_events(&events, &cfg);
             print!(" {:>7.1}%", 100.0 * m.miss_ratio());
         }
@@ -27,21 +48,40 @@ fn main() {
 
     // Table VII: disk I/Os vs block size x cache size, delayed write.
     println!("\nTable VII (disk I/Os, delayed write)");
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}", "bs", "accesses", "400K", "2M", "4M", "8M");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "bs", "accesses", "400K", "2M", "4M", "8M"
+    );
     for bs_kb in [1u64, 2, 4, 8, 16, 32] {
-        let cfg0 = CacheConfig { block_size: bs_kb * 1024, write_policy: WritePolicy::DelayedWrite, ..CacheConfig::default() };
+        let cfg0 = CacheConfig {
+            block_size: bs_kb * 1024,
+            write_policy: WritePolicy::DelayedWrite,
+            ..CacheConfig::default()
+        };
         let ev = replay_events(trace, &cfg0);
         print!("{:>5}K", bs_kb);
         let mut first = true;
         for cache_kb in [0u64, 400, 2048, 4096, 8192] {
             if first {
-                let m = Simulator::run_events(&ev, &CacheConfig { cache_bytes: 400 * 1024, ..cfg0.clone() });
+                let m = Simulator::run_events(
+                    &ev,
+                    &CacheConfig {
+                        cache_bytes: 400 * 1024,
+                        ..cfg0.clone()
+                    },
+                );
                 print!(" {:>9}", m.logical_accesses());
                 first = false;
                 let _ = cache_kb;
                 continue;
             }
-            let m = Simulator::run_events(&ev, &CacheConfig { cache_bytes: cache_kb * 1024, ..cfg0.clone() });
+            let m = Simulator::run_events(
+                &ev,
+                &CacheConfig {
+                    cache_bytes: cache_kb * 1024,
+                    ..cfg0.clone()
+                },
+            );
             print!(" {:>9}", m.disk_ios());
         }
         println!();
@@ -50,15 +90,34 @@ fn main() {
     // Fig 7: paging on/off, delayed write, 4K blocks.
     println!("\nFig 7 (miss %, delayed write, 4K): cache  no-paging  paging");
     for mb in [1u64, 2, 4, 8, 16] {
-        let mut cfg = CacheConfig { cache_bytes: mb << 20, write_policy: WritePolicy::DelayedWrite, ..base.clone() };
+        let mut cfg = CacheConfig {
+            cache_bytes: mb << 20,
+            write_policy: WritePolicy::DelayedWrite,
+            ..base.clone()
+        };
         let m0 = Simulator::run(trace, &cfg);
         cfg.simulate_paging = true;
         let m1 = Simulator::run(trace, &cfg);
-        println!("{:>4}MB {:>8.1}% {:>8.1}%", mb, 100.0*m0.miss_ratio(), 100.0*m1.miss_ratio());
+        println!(
+            "{:>4}MB {:>8.1}% {:>8.1}%",
+            mb,
+            100.0 * m0.miss_ratio(),
+            100.0 * m1.miss_ratio()
+        );
     }
 
     // Residency: fraction of dirty blocks resident > 20 min at 4MB.
-    let mut m = Simulator::run(trace, &CacheConfig { cache_bytes: 4 << 20, write_policy: WritePolicy::DelayedWrite, ..base.clone() });
-    println!("\n4MB delayed-write: blocks dirty >20min: {:.0}%; never-written {:.0}%",
-        100.0*m.residency_longer_than_minutes(20), 100.0*m.never_written_fraction());
+    let mut m = Simulator::run(
+        trace,
+        &CacheConfig {
+            cache_bytes: 4 << 20,
+            write_policy: WritePolicy::DelayedWrite,
+            ..base.clone()
+        },
+    );
+    println!(
+        "\n4MB delayed-write: blocks dirty >20min: {:.0}%; never-written {:.0}%",
+        100.0 * m.residency_longer_than_minutes(20),
+        100.0 * m.never_written_fraction()
+    );
 }

@@ -4,15 +4,34 @@ use fstrace::EventKind;
 use workload::{generate, MachineProfile, WorkloadConfig};
 
 fn main() {
-    let hours: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let hours: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
     for profile in MachineProfile::all() {
         let name = profile.trace_name;
-        let out = generate(&WorkloadConfig { profile, seed: 1985, duration_hours: hours, ..Default::default() }).unwrap();
+        let out = generate(&WorkloadConfig {
+            profile,
+            seed: 1985,
+            duration_hours: hours,
+            ..Default::default()
+        })
+        .unwrap();
         let t = &out.trace;
         let s = t.summary();
-        println!("=== {name}: {} records, {:.1} MB transferred, errors {} ===", s.records, s.total_mbytes_transferred(), out.errors);
-        for k in EventKind::ALL { print!("{}={:.1}% ", k.name(), 100.0*s.fraction(k)); }
-        println!("\nopens/sec avg {:.2} peak {:.2}", s.opens_per_second, s.peak_opens_per_second);
+        println!(
+            "=== {name}: {} records, {:.1} MB transferred, errors {} ===",
+            s.records,
+            s.total_mbytes_transferred(),
+            out.errors
+        );
+        for k in EventKind::ALL {
+            print!("{}={:.1}% ", k.name(), 100.0 * s.fraction(k));
+        }
+        println!(
+            "\nopens/sec avg {:.2} peak {:.2}",
+            s.opens_per_second, s.peak_opens_per_second
+        );
         let sess = t.sessions();
         let seq = SequentialityReport::analyze(&sess);
         println!("whole-file: ro {:.0}% wo {:.0}% all {:.0}%; bytes whole {:.0}%; seq ro {:.0}% wo {:.0}% rw {:.0}%; bytes seq {:.0}%",
@@ -27,19 +46,40 @@ fn main() {
             act.windows[0].avg_throughput(), act.windows[0].throughput_per_active.population_stddev(),
             act.windows[1].avg_active(), act.windows[1].avg_throughput());
         let mut ot = OpenTimeAnalysis::analyze(&sess);
-        println!("open<0.5s {:.0}% <10s {:.0}%", 100.0*ot.fraction_le_secs(0.5), 100.0*ot.fraction_le_secs(10.0));
+        println!(
+            "open<0.5s {:.0}% <10s {:.0}%",
+            100.0 * ot.fraction_le_secs(0.5),
+            100.0 * ot.fraction_le_secs(10.0)
+        );
         let mut gaps = EventGapAnalysis::analyze(t);
-        println!("gaps <0.5s {:.0}% <10s {:.0}% <30s {:.0}%", 100.0*gaps.fraction_le_secs(0.5), 100.0*gaps.fraction_le_secs(10.0), 100.0*gaps.fraction_le_secs(30.0));
+        println!(
+            "gaps <0.5s {:.0}% <10s {:.0}% <30s {:.0}%",
+            100.0 * gaps.fraction_le_secs(0.5),
+            100.0 * gaps.fraction_le_secs(10.0),
+            100.0 * gaps.fraction_le_secs(30.0)
+        );
         let mut sz = FileSizeAnalysis::analyze(&sess);
-        println!("size: acc<10K {:.0}% bytes<10K {:.0}%", 100.0*sz.fraction_of_accesses_le(10_240), 100.0*sz.fraction_of_bytes_le(10_240));
+        println!(
+            "size: acc<10K {:.0}% bytes<10K {:.0}%",
+            100.0 * sz.fraction_of_accesses_le(10_240),
+            100.0 * sz.fraction_of_bytes_le(10_240)
+        );
         let mut lt = LifetimeAnalysis::analyze(t);
         println!("life: files<30s {:.0}% <200s {:.0}% <300s {:.0}%; spike179-181 {:.0}%; bytes<30s {:.0}% <300s {:.0}%; deaths {}",
             100.0*lt.fraction_of_files_le_secs(30.0), 100.0*lt.fraction_of_files_le_secs(200.0), 100.0*lt.fraction_of_files_le_secs(300.0),
             100.0*lt.fraction_of_files_between_secs(179.0, 181.0),
             100.0*lt.fraction_of_bytes_le_secs(30.0), 100.0*lt.fraction_of_bytes_le_secs(300.0), lt.events.len());
         let mut rl = RunLengthAnalysis::analyze(&sess);
-        println!("runs<4000B {:.0}%; bytes in runs>25K {:.0}%", 100.0*rl.fraction_of_runs_le(4000), 100.0*(1.0-rl.fraction_of_bytes_le(25_000)));
+        println!(
+            "runs<4000B {:.0}%; bytes in runs>25K {:.0}%",
+            100.0 * rl.fraction_of_runs_le(4000),
+            100.0 * (1.0 - rl.fraction_of_bytes_le(25_000))
+        );
         let bc = out.fs.bcache_stats();
-        println!("bsdfs bcache: miss {:.1}% ncache hit {:.0}%", 100.0*bc.miss_ratio(), 100.0*out.fs.ncache_stats().hit_ratio());
+        println!(
+            "bsdfs bcache: miss {:.1}% ncache hit {:.0}%",
+            100.0 * bc.miss_ratio(),
+            100.0 * out.fs.ncache_stats().hit_ratio()
+        );
     }
 }

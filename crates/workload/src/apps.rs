@@ -91,7 +91,9 @@ impl Ctx<'_> {
     /// Whole-file sequential write: create/truncate, write, close.
     pub fn write_whole(&mut self, path: &str, size: u64, mut now: u64) -> FsResult<u64> {
         now += self.gap();
-        let fd = self.fs.open(path, OpenFlags::create_write(), self.uid, now)?;
+        let fd = self
+            .fs
+            .open(path, OpenFlags::create_write(), self.uid, now)?;
         let mut left = size;
         while left > 0 {
             let n = left.min(CHUNK);
@@ -131,7 +133,14 @@ impl Ctx<'_> {
         };
         let fd = self.fs.open(path, flags, self.uid, now)?;
         let mut pos = 0u64;
-        let touches = if write { self.rng.range(2, 5) } else { self.rng.range(2, 6) };
+        // Record lookups chain: find an entry, follow a cross-reference,
+        // check another — so one consultation seeks many times (these
+        // sessions carry most of Table III's seek volume).
+        let touches = if write {
+            self.rng.range(3, 7)
+        } else {
+            self.rng.range(4, 10)
+        };
         for _ in 0..touches {
             let target = if size <= 4_000 {
                 0
@@ -147,8 +156,10 @@ impl Ctx<'_> {
             }
             // Mostly short records; occasionally a long scan from the
             // seek point (reading a stretch of a log or table).
-            let n = if !write && self.rng.chance(0.18) {
-                self.rng.range(20_000, 80_000).min(size.saturating_sub(target).max(1_000))
+            let n = if !write && self.rng.chance(0.10) {
+                self.rng
+                    .range(10_000, 36_000)
+                    .min(size.saturating_sub(target).max(1_000))
             } else {
                 self.rng.range(100, 2_000)
             };
@@ -178,9 +189,8 @@ impl Ctx<'_> {
     /// says dominate accesses.
     pub fn read_startup_files(&mut self, mut now: u64) -> FsResult<u64> {
         if self.rng.chance(0.7) {
-            let cfg = self.ns.configs
-                [self.rng.range(0, self.ns.configs.len() as u64) as usize]
-                .clone();
+            let cfg =
+                self.ns.configs[self.rng.range(0, self.ns.configs.len() as u64) as usize].clone();
             // Table lookups scan until the entry is found.
             if self.rng.chance(0.75) {
                 let frac = 0.1 + 0.8 * self.rng.uniform();
@@ -333,7 +343,7 @@ impl Ctx<'_> {
             now += self.gap();
             let fd = self.fs.open(&lib, OpenFlags::read_only(), self.uid, now)?;
             let mut pos = 0u64;
-            for _ in 0..self.rng.range(3, 9) {
+            for _ in 0..self.rng.range(5, 12) {
                 let target = self.rng.range(0, lib_size.saturating_sub(8_000).max(1));
                 if target != pos {
                     now += self.gap();
@@ -369,7 +379,7 @@ impl Ctx<'_> {
         };
         let doc = self.random_doc();
         now = self.read_whole(&doc, now)?;
-        if self.rng.chance(0.7) {
+        if self.rng.chance(0.55) {
             // Output overwrites the previous run's (data death).
             let out = format!("/tmp/out{:02}", self.uid);
             let size = self.rng.lognormal(4_000.0, 1.0, 200, 50_000);
@@ -400,14 +410,41 @@ impl Ctx<'_> {
             let mbox = self.ns.mailboxes[self.uid as usize].clone();
             let size = self.fs.stat(&mbox, now)?.size;
             now += self.gap();
-            let fd = self.fs.open(&mbox, OpenFlags::read_write(), self.uid, now)?;
-            let pos = size.saturating_sub(self.rng.range(1_000, 8_000).min(size.max(1)));
-            now += self.gap();
-            self.fs.lseek(fd, SeekFrom::Set(pos), now)?;
-            loop {
+            let fd = self
+                .fs
+                .open(&mbox, OpenFlags::read_write(), self.uid, now)?;
+            if self.rng.chance(0.25) {
+                // Catching up from the top: the whole box is read in
+                // order and the status flags rewritten as each message
+                // scrolls past — a *sequential* read-write access.
+                let mut left = size.min(self.rng.range(2_000, 20_000)).max(CHUNK);
+                while left > 0 {
+                    let c = left.min(CHUNK);
+                    now += self.gap();
+                    if self.fs.read(fd, c, now)? < c {
+                        break;
+                    }
+                    left -= c;
+                }
                 now += self.gap();
-                if self.fs.read(fd, CHUNK, now)? < CHUNK {
-                    break;
+                self.fs.close(fd, now)?;
+                return Ok(now);
+            }
+            // mail(1) jumps from message to message: each one starts with
+            // a seek to its header, then a short sequential read.
+            for _ in 0..self.rng.range(2, 6) {
+                let pos = size.saturating_sub(self.rng.range(500, 12_000).min(size.max(1)));
+                now += self.gap();
+                self.fs.lseek(fd, SeekFrom::Set(pos), now)?;
+                let msg = self.rng.range(400, 4_000);
+                let mut left = msg;
+                while left > 0 {
+                    let c = left.min(CHUNK);
+                    now += self.gap();
+                    if self.fs.read(fd, c, now)? < c {
+                        break;
+                    }
+                    left -= c;
                 }
             }
             if size > 2_000 && self.rng.chance(0.7) {
@@ -500,7 +537,12 @@ impl Ctx<'_> {
         // Write the body, then seek back and patch the summary header —
         // simulators do this, leaving a large non-sequential session.
         let mut now = now + self.gap();
-        let flags = OpenFlags { read: false, write: true, create: true, truncate: true };
+        let flags = OpenFlags {
+            read: false,
+            write: true,
+            create: true,
+            truncate: true,
+        };
         let fd = self.fs.open(&listing, flags, self.uid, now)?;
         let mut left = size;
         while left > 0 {
@@ -541,9 +583,11 @@ impl Ctx<'_> {
         // delete before the next run.
         let size = self.fs.stat(&listing, now)?.size;
         now += self.gap();
-        let fd = self.fs.open(&listing, OpenFlags::read_only(), self.uid, now)?;
+        let fd = self
+            .fs
+            .open(&listing, OpenFlags::read_only(), self.uid, now)?;
         let mut pos = 0u64;
-        for _ in 0..self.rng.range(1, 4) {
+        for _ in 0..self.rng.range(2, 6) {
             let target = self.rng.range(0, size.max(1));
             if target > pos {
                 now += self.gap();
@@ -596,12 +640,25 @@ mod tests {
     fn compile_creates_and_deletes_temp() {
         let p = MachineProfile::ucbarpa();
         let (mut fs, mut ns, mut rng) = setup(&p);
-        let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 0 };
+        let mut ctx = Ctx {
+            fs: &mut fs,
+            ns: &mut ns,
+            rng: &mut rng,
+            uid: 0,
+        };
         let end = ctx.cmd_compile(1_000).unwrap();
         assert!(end > 1_000);
         let trace = fs.take_trace();
-        let creates = trace.records().iter().filter(|r| r.event.kind() == EventKind::Create).count();
-        let unlinks = trace.records().iter().filter(|r| r.event.kind() == EventKind::Unlink).count();
+        let creates = trace
+            .records()
+            .iter()
+            .filter(|r| r.event.kind() == EventKind::Create)
+            .count();
+        let unlinks = trace
+            .records()
+            .iter()
+            .filter(|r| r.event.kind() == EventKind::Unlink)
+            .count();
         assert!(creates >= 2, "temp + object, got {creates}"); // ctm + .o
         assert_eq!(unlinks, 1); // The temp died.
         assert_eq!(ns.objects[0].len(), 1);
@@ -612,7 +669,12 @@ mod tests {
     fn mail_append_is_sequential_not_whole() {
         let p = MachineProfile::ucbarpa();
         let (mut fs, mut ns, mut rng) = setup(&p);
-        let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 3 };
+        let mut ctx = Ctx {
+            fs: &mut fs,
+            ns: &mut ns,
+            rng: &mut rng,
+            uid: 3,
+        };
         // Force the append branch by trying until one lands (the branch
         // is random but deterministic for a given seed sequence).
         let mut t = 1_000;
@@ -621,26 +683,42 @@ mod tests {
         }
         let trace = fs.take_trace();
         let sessions = trace.sessions();
-        // Mail never transfers the mailbox whole: appends seek to the
-        // end first, and readers seek to the recent messages.
+        // Mail mostly does not transfer the mailbox whole: appends seek
+        // to the end first and readers jump to the recent messages. The
+        // exception is a catch-up read of a still-small box, so a
+        // minority of whole-file sessions is allowed.
+        let (mut whole, mut total) = (0usize, 0usize);
         for s in sessions.complete() {
-            assert!(!s.is_whole_file_transfer());
+            total += 1;
+            if s.is_whole_file_transfer() {
+                whole += 1;
+            }
         }
-        let seeks = trace.records().iter().filter(|r| r.event.kind() == EventKind::Seek).count();
-        assert!(seeks >= 8, "each mail access repositions, got {seeks}");
+        assert!(whole * 2 < total, "mail went whole-file {whole}/{total}");
+        let seeks = trace
+            .records()
+            .iter()
+            .filter(|r| r.event.kind() == EventKind::Seek)
+            .count();
+        assert!(seeks >= 6, "mail accesses mostly reposition, got {seeks}");
     }
 
     #[test]
     fn admin_touch_is_positioned_small_transfer() {
         let p = MachineProfile::ucbarpa();
         let (mut fs, mut ns, mut rng) = setup(&p);
-        let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 1 };
+        let mut ctx = Ctx {
+            fs: &mut fs,
+            ns: &mut ns,
+            rng: &mut rng,
+            uid: 1,
+        };
         ctx.cmd_admin(5_000).unwrap();
         let trace = fs.take_trace();
         let sessions = trace.sessions();
         let s = sessions.complete().next().unwrap();
         assert!(s.size_at_close() > 800_000); // The ~1 MB file.
-        // A few records (or one longer scan), never the whole file.
+                                              // A few records (or one longer scan), never the whole file.
         assert!(s.bytes_transferred() < 200_000);
         assert!(s.seek_count >= 1);
         assert!(!s.is_whole_file_transfer());
@@ -650,7 +728,12 @@ mod tests {
     fn format_queues_spool_file() {
         let p = MachineProfile::ucbernie();
         let (mut fs, mut ns, mut rng) = setup(&p);
-        let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 2 };
+        let mut ctx = Ctx {
+            fs: &mut fs,
+            ns: &mut ns,
+            rng: &mut rng,
+            uid: 2,
+        };
         ctx.cmd_format(1_000).unwrap();
         assert_eq!(ns.spool_queue.len(), 1);
         let (path, _) = &ns.spool_queue[0];
@@ -662,7 +745,12 @@ mod tests {
         let p = MachineProfile::ucbcad();
         let (mut fs, mut ns, mut rng) = setup(&p);
         let t = {
-            let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 0 };
+            let mut ctx = Ctx {
+                fs: &mut fs,
+                ns: &mut ns,
+                rng: &mut rng,
+                uid: 0,
+            };
             let (t, deck_size) = ctx.cad_read_deck(1_000).unwrap();
             ctx.cad_write_listing(deck_size, t + 60_000).unwrap()
         };
@@ -670,7 +758,12 @@ mod tests {
         let listing = ns.listings[0].clone().unwrap();
         assert!(fs.exists(&listing));
         let t2 = {
-            let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 0 };
+            let mut ctx = Ctx {
+                fs: &mut fs,
+                ns: &mut ns,
+                rng: &mut rng,
+                uid: 0,
+            };
             ctx.cmd_cad_inspect(t + 30_000).unwrap()
         };
         assert!(t2 > t);
@@ -682,19 +775,38 @@ mod tests {
     fn view_doc_is_whole_file_read() {
         let p = MachineProfile::ucbarpa();
         let (mut fs, mut ns, mut rng) = setup(&p);
-        let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 4 };
-        ctx.cmd_view_doc(1_000).unwrap();
+        let mut ctx = Ctx {
+            fs: &mut fs,
+            ns: &mut ns,
+            rng: &mut rng,
+            uid: 4,
+        };
+        // A single view may legitimately be a prefix read (`more`
+        // readers quit early about half the time), so run a handful and
+        // require that whole-file transfers dominate in aggregate.
+        let mut t = 1_000;
+        for _ in 0..6 {
+            t = ctx.cmd_view_doc(t).unwrap() + 1_000;
+        }
         let trace = fs.take_trace();
         let sessions = trace.sessions();
-        let whole = sessions.complete().filter(|s| s.is_whole_file_transfer()).count();
-        assert!(whole >= 1);
+        let whole = sessions
+            .complete()
+            .filter(|s| s.is_whole_file_transfer())
+            .count();
+        assert!(whole >= 2, "whole-file reads = {whole}");
     }
 
     #[test]
     fn list_reads_a_directory() {
         let p = MachineProfile::ucbarpa();
         let (mut fs, mut ns, mut rng) = setup(&p);
-        let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid: 5 };
+        let mut ctx = Ctx {
+            fs: &mut fs,
+            ns: &mut ns,
+            rng: &mut rng,
+            uid: 5,
+        };
         ctx.cmd_list(1_000).unwrap();
         let trace = fs.take_trace();
         assert!(trace.sessions().complete().count() >= 1);
@@ -708,7 +820,12 @@ mod tests {
         let mut t = 1_000u64;
         for round in 0..60u64 {
             let uid = (round % 8) as u32;
-            let mut ctx = Ctx { fs: &mut fs, ns: &mut ns, rng: &mut rng, uid };
+            let mut ctx = Ctx {
+                fs: &mut fs,
+                ns: &mut ns,
+                rng: &mut rng,
+                uid,
+            };
             t = match round % 10 {
                 0 => ctx.cmd_list(t),
                 1 => ctx.cmd_view_doc(t),

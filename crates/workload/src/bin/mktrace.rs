@@ -80,9 +80,7 @@ fn main() {
         "wrote {}: {} records{}",
         out,
         trace.len(),
-        bytes
-            .map(|n| format!(", {n} bytes"))
-            .unwrap_or_default()
+        bytes.map(|n| format!(", {n} bytes")).unwrap_or_default()
     );
 }
 

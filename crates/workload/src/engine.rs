@@ -122,10 +122,7 @@ pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
     actors.push(Actor::Daemon(StatusDaemon {
         rng: master.derive(0x0dae),
     }));
-    heap.push(Reverse((
-        master.range(1_000, 30_000),
-        actors.len() - 1,
-    )));
+    heap.push(Reverse((master.range(1_000, 30_000), actors.len() - 1)));
     actors.push(Actor::Spooler(Spooler {
         rng: master.derive(0x0590),
     }));

@@ -110,7 +110,14 @@ pub fn build(fs: &mut Fs, rng: &mut Sampler, profile: &MachineProfile) -> FsResu
     }
 
     let mut libs = Vec::new();
-    for name in ["libc.a", "libm.a", "libcurses.a", "libtermcap.a", "libF77.a", "libplot.a"] {
+    for name in [
+        "libc.a",
+        "libm.a",
+        "libcurses.a",
+        "libtermcap.a",
+        "libF77.a",
+        "libplot.a",
+    ] {
         let path = format!("/usr/lib/{name}");
         let size = rng.lognormal(150_000.0, 0.5, 40_000, 600_000);
         create_file(fs, &path, size)?;

@@ -83,16 +83,16 @@ impl MachineProfile {
             mean_think_ms: 12_000.0,
             mean_idle_ms: 8.0 * 60_000.0,
             command_mix: vec![
-                (List, 0.16),
-                (ViewDoc, 0.13),
-                (Edit, 0.11),
-                (Compile, 0.20),
+                (List, 0.17),
+                (ViewDoc, 0.16),
+                (Edit, 0.09),
+                (Compile, 0.11),
                 (Link, 0.05),
-                (RunProgram, 0.10),
-                (Mail, 0.09),
-                (Format, 0.06),
-                (Admin, 0.04),
-                (Copy, 0.06),
+                (RunProgram, 0.08),
+                (Mail, 0.12),
+                (Format, 0.04),
+                (Admin, 0.10),
+                (Copy, 0.04),
                 (Remove, 0.04),
             ],
             status_hosts: 20,
@@ -113,16 +113,16 @@ impl MachineProfile {
             mean_think_ms: 13_000.0,
             mean_idle_ms: 9.0 * 60_000.0,
             command_mix: vec![
-                (List, 0.15),
-                (ViewDoc, 0.15),
-                (Edit, 0.12),
-                (Compile, 0.12),
+                (List, 0.18),
+                (ViewDoc, 0.17),
+                (Edit, 0.10),
+                (Compile, 0.08),
                 (Link, 0.03),
-                (RunProgram, 0.08),
-                (Mail, 0.13),
-                (Format, 0.10),
-                (Admin, 0.05),
-                (Copy, 0.04),
+                (RunProgram, 0.06),
+                (Mail, 0.15),
+                (Format, 0.08),
+                (Admin, 0.09),
+                (Copy, 0.03),
                 (Remove, 0.03),
             ],
             status_hosts: 20,
@@ -143,18 +143,18 @@ impl MachineProfile {
             mean_think_ms: 10_000.0,
             mean_idle_ms: 6.0 * 60_000.0,
             command_mix: vec![
-                (List, 0.13),
-                (ViewDoc, 0.08),
-                (Edit, 0.10),
-                (Compile, 0.09),
+                (List, 0.15),
+                (ViewDoc, 0.13),
+                (Edit, 0.08),
+                (Compile, 0.05),
                 (Link, 0.03),
-                (RunProgram, 0.11),
-                (Mail, 0.05),
-                (Admin, 0.05),
-                (CadSimulate, 0.14),
+                (RunProgram, 0.08),
+                (Mail, 0.08),
+                (Admin, 0.10),
+                (CadSimulate, 0.10),
                 (CadInspect, 0.12),
-                (Copy, 0.05),
-                (Remove, 0.05),
+                (Copy, 0.04),
+                (Remove, 0.04),
             ],
             status_hosts: 20,
             daemon_interval_ms: 180_000,
@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn lookup_by_trace_name() {
         assert_eq!(MachineProfile::by_trace_name("a5").unwrap().name, "Ucbarpa");
-        assert_eq!(MachineProfile::by_trace_name("e3").unwrap().name, "Ucbernie");
+        assert_eq!(
+            MachineProfile::by_trace_name("e3").unwrap().name,
+            "Ucbernie"
+        );
         assert_eq!(MachineProfile::by_trace_name("c4").unwrap().name, "Ucbcad");
         assert!(MachineProfile::by_trace_name("zz").is_none());
     }

@@ -120,7 +120,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = Sampler::new(1);
         let mut b = Sampler::new(2);
-        let same = (0..32).filter(|_| a.range(0, 1 << 30) == b.range(0, 1 << 30)).count();
+        let same = (0..32)
+            .filter(|_| a.range(0, 1 << 30) == b.range(0, 1 << 30))
+            .count();
         assert!(same < 4);
     }
 
@@ -146,7 +148,9 @@ mod tests {
     #[test]
     fn lognormal_respects_bounds_and_median() {
         let mut s = Sampler::new(5);
-        let xs: Vec<u64> = (0..10_001).map(|_| s.lognormal(5_000.0, 1.0, 100, 1_000_000)).collect();
+        let xs: Vec<u64> = (0..10_001)
+            .map(|_| s.lognormal(5_000.0, 1.0, 100, 1_000_000))
+            .collect();
         assert!(xs.iter().all(|&x| (100..=1_000_000).contains(&x)));
         let mut sorted = xs.clone();
         sorted.sort_unstable();

@@ -89,12 +89,7 @@ fn main() {
                 ..cfg.clone()
             },
         );
-        println!(
-            "{:>5}K {:>10} {:>10}",
-            bs,
-            small.disk_ios(),
-            big.disk_ios()
-        );
+        println!("{:>5}K {:>10} {:>10}", bs, small.disk_ios(), big.disk_ios());
     }
     println!(
         "\nlarge blocks cut I/Os even for small caches; very large blocks\n\

@@ -5,9 +5,7 @@
 //! cargo run --release --example program_development -- [hours]
 //! ```
 
-use fsanalysis::{
-    ActivityAnalysis, LifetimeAnalysis, OpenTimeAnalysis, SequentialityReport,
-};
+use fsanalysis::{ActivityAnalysis, LifetimeAnalysis, OpenTimeAnalysis, SequentialityReport};
 use workload::{generate, MachineProfile, WorkloadConfig};
 
 fn main() {

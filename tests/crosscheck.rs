@@ -56,8 +56,12 @@ fn policy_ordering_holds_on_real_traces() {
         .disk_ios()
     };
     let wt = run(WritePolicy::WriteThrough);
-    let f30 = run(WritePolicy::FlushBack { interval_ms: 30_000 });
-    let f300 = run(WritePolicy::FlushBack { interval_ms: 300_000 });
+    let f30 = run(WritePolicy::FlushBack {
+        interval_ms: 30_000,
+    });
+    let f300 = run(WritePolicy::FlushBack {
+        interval_ms: 300_000,
+    });
     let dw = run(WritePolicy::DelayedWrite);
     assert!(wt >= f30, "{wt} < {f30}");
     assert!(f30 >= f300, "{f30} < {f300}");

@@ -61,7 +61,7 @@ fn corrupted_byte_is_detected_or_decodes_differently() {
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xa5;
     match Trace::from_binary(&bytes) {
-        Err(_) => {}            // Detected: good.
+        Err(_) => {} // Detected: good.
         Ok(other) => {
             // A flipped varint byte may still decode; it must not
             // silently reproduce the original trace.
