@@ -15,4 +15,17 @@ cargo build --release
 echo "== cargo test"
 cargo test -q
 
+echo "== metrics invariants and goldens"
+cargo test -q -p bsdtrace --test metrics --test goldens
+cargo test -q -p cachesim --test sharing
+
+echo "== metrics artifact"
+# Stamp the metrics JSON with the commit it came from and leave it in
+# target/artifacts/ for CI to upload.
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+mkdir -p target/artifacts
+BSDTRACE_GIT_SHA="$SHA" ./target/release/repro table6 --hours 0.1 \
+    --metrics "target/artifacts/metrics-$SHA.json" >/dev/null
+echo "   wrote target/artifacts/metrics-$SHA.json"
+
 echo "ci.sh: all green"

@@ -14,6 +14,8 @@
 
 use std::collections::HashMap;
 
+use obs::{Counter, Registry};
+
 use crate::disk::Disk;
 
 /// Write policy for dirty buffers.
@@ -62,12 +64,58 @@ impl BufCacheStats {
     }
 
     /// The paper's metric: disk I/O operations per logical access.
+    ///
+    /// Zero logical accesses yield `0.0`, per the workspace-wide
+    /// [`obs::ratio`] convention.
     pub fn miss_ratio(&self) -> f64 {
-        let la = self.logical_accesses();
-        if la == 0 {
-            0.0
-        } else {
-            (self.disk_reads + self.disk_writes) as f64 / la as f64
+        obs::ratio(self.disk_reads + self.disk_writes, self.logical_accesses())
+    }
+}
+
+/// The live [`obs::Counter`] handles behind [`BufCacheStats`].
+///
+/// The cache increments these on its hot paths; [`BufCache::stats`]
+/// reads them back into the plain [`BufCacheStats`] snapshot, and
+/// [`BufCache::register_obs`] exports the same cells by name so a
+/// registry snapshot sees every later increment.
+#[derive(Debug, Clone, Default)]
+struct BufCounters {
+    logical_reads: Counter,
+    logical_writes: Counter,
+    read_hits: Counter,
+    read_misses: Counter,
+    write_fetches_elided: Counter,
+    disk_reads: Counter,
+    disk_writes: Counter,
+    dirty_invalidated: Counter,
+}
+
+impl BufCounters {
+    fn snapshot(&self) -> BufCacheStats {
+        BufCacheStats {
+            logical_reads: self.logical_reads.get(),
+            logical_writes: self.logical_writes.get(),
+            read_hits: self.read_hits.get(),
+            read_misses: self.read_misses.get(),
+            write_fetches_elided: self.write_fetches_elided.get(),
+            disk_reads: self.disk_reads.get(),
+            disk_writes: self.disk_writes.get(),
+            dirty_invalidated: self.dirty_invalidated.get(),
+        }
+    }
+
+    fn register(&self, registry: &Registry, prefix: &str) {
+        for (field, counter) in [
+            ("logical_reads", &self.logical_reads),
+            ("logical_writes", &self.logical_writes),
+            ("read_hits", &self.read_hits),
+            ("read_misses", &self.read_misses),
+            ("write_fetches_elided", &self.write_fetches_elided),
+            ("disk_reads", &self.disk_reads),
+            ("disk_writes", &self.disk_writes),
+            ("dirty_invalidated", &self.dirty_invalidated),
+        ] {
+            registry.attach_counter(&format!("{prefix}.{field}"), counter);
         }
     }
 }
@@ -87,7 +135,7 @@ pub struct BufCache {
     seq: u64,
     policy: BufWritePolicy,
     last_flush_ms: u64,
-    stats: BufCacheStats,
+    stats: BufCounters,
 }
 
 impl BufCache {
@@ -100,7 +148,7 @@ impl BufCache {
             seq: 0,
             policy,
             last_flush_ms: 0,
-            stats: BufCacheStats::default(),
+            stats: BufCounters::default(),
         }
     }
 
@@ -124,9 +172,16 @@ impl BufCache {
         self.map.is_empty()
     }
 
-    /// Activity counters.
+    /// Activity counters (a point-in-time snapshot of the live cells).
     pub fn stats(&self) -> BufCacheStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Exports this cache's live counters into `registry` under
+    /// `prefix` (e.g. `"bsdfs.a5.bufcache"`). Snapshots taken from the
+    /// registry afterwards reflect all activity, past and future.
+    pub fn register_obs(&self, registry: &Registry, prefix: &str) {
+        self.stats.register(registry, prefix);
     }
 
     fn touch(&mut self, frag: u64) {
@@ -143,7 +198,7 @@ impl BufCache {
         let mut data = vec![0u8; len].into_boxed_slice();
         if read {
             disk.read_extent(frag, nfrags, &mut data);
-            self.stats.disk_reads += 1;
+            self.stats.disk_reads.inc();
         }
         self.seq += 1;
         self.cur_bytes += len as u64;
@@ -171,7 +226,7 @@ impl BufCache {
             let b = self.map.remove(&k).expect("victim exists");
             if b.dirty {
                 disk.write_extent(k, b.nfrags, &b.data);
-                self.stats.disk_writes += 1;
+                self.stats.disk_writes.inc();
             }
             self.cur_bytes -= b.data.len() as u64;
         }
@@ -185,15 +240,15 @@ impl BufCache {
         nfrags: u32,
         f: impl FnOnce(&[u8]) -> R,
     ) -> R {
-        self.stats.logical_reads += 1;
+        self.stats.logical_reads.inc();
         match self.map.get(&frag) {
             Some(b) => {
                 debug_assert_eq!(b.nfrags, nfrags, "extent size changed without invalidation");
-                self.stats.read_hits += 1;
+                self.stats.read_hits.inc();
                 self.touch(frag);
             }
             None => {
-                self.stats.read_misses += 1;
+                self.stats.read_misses.inc();
                 self.fetch(disk, frag, nfrags, true);
             }
         }
@@ -214,7 +269,7 @@ impl BufCache {
         whole: bool,
         f: impl FnOnce(&mut [u8]),
     ) {
-        self.stats.logical_writes += 1;
+        self.stats.logical_writes.inc();
         match self.map.get(&frag) {
             Some(b) => {
                 debug_assert_eq!(b.nfrags, nfrags, "extent size changed without invalidation");
@@ -222,7 +277,7 @@ impl BufCache {
             }
             None => {
                 if whole {
-                    self.stats.write_fetches_elided += 1;
+                    self.stats.write_fetches_elided.inc();
                 }
                 self.fetch(disk, frag, nfrags, !whole);
             }
@@ -232,7 +287,7 @@ impl BufCache {
         match self.policy {
             BufWritePolicy::WriteThrough => {
                 disk.write_extent(frag, b.nfrags, &b.data);
-                self.stats.disk_writes += 1;
+                self.stats.disk_writes.inc();
                 b.dirty = false;
             }
             _ => b.dirty = true,
@@ -244,7 +299,7 @@ impl BufCache {
     pub fn invalidate(&mut self, frag: u64) {
         if let Some(b) = self.map.remove(&frag) {
             if b.dirty {
-                self.stats.dirty_invalidated += 1;
+                self.stats.dirty_invalidated.inc();
             }
             self.cur_bytes -= b.data.len() as u64;
         }
@@ -262,7 +317,7 @@ impl BufCache {
         for k in keys {
             let b = self.map.get_mut(&k).expect("key exists");
             disk.write_extent(k, b.nfrags, &b.data);
-            self.stats.disk_writes += 1;
+            self.stats.disk_writes.inc();
             b.dirty = false;
         }
         self.last_flush_ms = now_ms;
@@ -396,6 +451,28 @@ mod tests {
         assert_eq!(c.stats().disk_writes, 0);
         c.maybe_flush(&mut d, 30_000);
         assert_eq!(c.stats().disk_writes, 1);
+    }
+
+    #[test]
+    fn idle_cache_ratio_is_zero_not_nan() {
+        // The workspace-wide obs::ratio convention: no traffic -> 0.0.
+        let s = BufCacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        assert!(!s.miss_ratio().is_nan());
+    }
+
+    #[test]
+    fn register_obs_exports_live_counters() {
+        let (mut d, mut c) = setup(16 * 1024, BufWritePolicy::WriteThrough);
+        let reg = obs::Registry::new();
+        c.register_obs(&reg, "buf");
+        c.modify(&mut d, 8, 1, true, |b| b[0] = 1);
+        c.read(&mut d, 8, 1, |_| ());
+        let snap = reg.snapshot();
+        let s = c.stats();
+        assert_eq!(snap.counter("buf.logical_reads"), Some(s.logical_reads));
+        assert_eq!(snap.counter("buf.read_hits"), Some(s.read_hits));
+        assert_eq!(snap.counter("buf.disk_writes"), Some(s.disk_writes));
     }
 
     #[test]

@@ -155,13 +155,32 @@ pub struct NameCacheStats {
 
 impl NameCacheStats {
     /// Hit ratio in `[0, 1]` (Leffler et al. report ~85% for 4.3 BSD).
+    ///
+    /// Zero lookups yield `0.0`, per the workspace-wide [`obs::ratio`]
+    /// convention.
     pub fn hit_ratio(&self) -> f64 {
-        let t = self.hits + self.misses;
-        if t == 0 {
-            0.0
-        } else {
-            self.hits as f64 / t as f64
+        obs::ratio(self.hits, self.hits + self.misses)
+    }
+}
+
+/// Live counter handles behind [`NameCacheStats`].
+#[derive(Debug, Clone, Default)]
+struct NameCounters {
+    hits: obs::Counter,
+    misses: obs::Counter,
+}
+
+impl NameCounters {
+    fn snapshot(&self) -> NameCacheStats {
+        NameCacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
+    }
+
+    fn register(&self, registry: &obs::Registry, prefix: &str) {
+        registry.attach_counter(&format!("{prefix}.hits"), &self.hits);
+        registry.attach_counter(&format!("{prefix}.misses"), &self.misses);
     }
 }
 
@@ -174,7 +193,7 @@ struct NameCache {
     cap: usize,
     new: HashMap<(Ino, String), Ino>,
     old: HashMap<(Ino, String), Ino>,
-    stats: NameCacheStats,
+    stats: NameCounters,
 }
 
 impl NameCache {
@@ -183,22 +202,22 @@ impl NameCache {
             cap: cap.max(2),
             new: HashMap::new(),
             old: HashMap::new(),
-            stats: NameCacheStats::default(),
+            stats: NameCounters::default(),
         }
     }
 
     fn lookup(&mut self, dirino: Ino, name: &str) -> Option<Ino> {
         let key = (dirino, name.to_string());
         if let Some(&ino) = self.new.get(&key) {
-            self.stats.hits += 1;
+            self.stats.hits.inc();
             return Some(ino);
         }
         if let Some(&ino) = self.old.get(&key) {
-            self.stats.hits += 1;
+            self.stats.hits.inc();
             self.insert(dirino, name, ino); // Promote.
             return Some(ino);
         }
-        self.stats.misses += 1;
+        self.stats.misses.inc();
         None
     }
 
@@ -1384,12 +1403,29 @@ impl Fs {
 
     /// Name cache counters.
     pub fn ncache_stats(&self) -> NameCacheStats {
-        self.ncache.stats
+        self.ncache.stats.snapshot()
     }
 
     /// In-core inode table counters.
     pub fn itable_stats(&self) -> InodeTableStats {
         self.itable.stats()
+    }
+
+    /// Exports this file system's cache counters into `registry` under
+    /// `prefix`: `{prefix}.bufcache.*`, `{prefix}.namecache.*`, and
+    /// `{prefix}.itable.*`.
+    ///
+    /// The handles are live — registry snapshots reflect all activity
+    /// before and after registration — so `repro --metrics` registers
+    /// each generated trace's file system once and snapshots at exit.
+    pub fn register_obs(&self, registry: &obs::Registry, prefix: &str) {
+        self.bcache
+            .register_obs(registry, &format!("{prefix}.bufcache"));
+        self.ncache
+            .stats
+            .register(registry, &format!("{prefix}.namecache"));
+        self.itable
+            .register_obs(registry, &format!("{prefix}.itable"));
     }
 
     /// Free data fragments remaining.
@@ -1480,6 +1516,13 @@ impl Fs {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn idle_name_cache_hit_ratio_is_zero_not_nan() {
+        let s = NameCacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert!(!s.hit_ratio().is_nan());
+    }
 
     fn fs() -> Fs {
         Fs::new(FsParams::small()).unwrap()

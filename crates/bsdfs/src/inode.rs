@@ -152,14 +152,31 @@ pub struct InodeTableStats {
 }
 
 impl InodeTableStats {
-    /// Hit ratio in `[0, 1]`; `0.0` when no lookups occurred.
+    /// Hit ratio in `[0, 1]`; `0.0` when no lookups occurred, per the
+    /// workspace-wide [`obs::ratio`] convention.
     pub fn hit_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
+        obs::ratio(self.hits, self.hits + self.misses)
+    }
+}
+
+/// Live counter handles behind [`InodeTableStats`].
+#[derive(Debug, Clone, Default)]
+struct InodeCounters {
+    hits: obs::Counter,
+    misses: obs::Counter,
+}
+
+impl InodeCounters {
+    fn snapshot(&self) -> InodeTableStats {
+        InodeTableStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
+    }
+
+    fn register(&self, registry: &obs::Registry, prefix: &str) {
+        registry.attach_counter(&format!("{prefix}.hits"), &self.hits);
+        registry.attach_counter(&format!("{prefix}.misses"), &self.misses);
     }
 }
 
@@ -176,7 +193,7 @@ pub struct InodeTable {
     capacity: usize,
     slots: HashMap<Ino, Slot>,
     seq: u64,
-    stats: InodeTableStats,
+    stats: InodeCounters,
 }
 
 impl InodeTable {
@@ -186,7 +203,7 @@ impl InodeTable {
             capacity: capacity.max(1),
             slots: HashMap::new(),
             seq: 0,
-            stats: InodeTableStats::default(),
+            stats: InodeCounters::default(),
         }
     }
 
@@ -196,11 +213,11 @@ impl InodeTable {
         match self.slots.get_mut(&ino) {
             Some(s) => {
                 s.last_used = self.seq;
-                self.stats.hits += 1;
+                self.stats.hits.inc();
                 Some(&s.inode)
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses.inc();
                 None
             }
         }
@@ -303,7 +320,12 @@ impl InodeTable {
 
     /// Hit/miss counters.
     pub fn stats(&self) -> InodeTableStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Exports this table's counters into `registry` under `prefix`.
+    pub(crate) fn register_obs(&self, registry: &obs::Registry, prefix: &str) {
+        self.stats.register(registry, prefix);
     }
 
     /// Number of cached slots.
@@ -320,6 +342,13 @@ impl InodeTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn idle_table_hit_ratio_is_zero_not_nan() {
+        let s = InodeTableStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert!(!s.hit_ratio().is_nan());
+    }
 
     fn node(fid: u64) -> Inode {
         let mut i = Inode::empty(FileType::Regular, fid, 1000);

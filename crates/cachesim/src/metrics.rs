@@ -45,23 +45,17 @@ impl CacheMetrics {
     }
 
     /// The paper's metric: disk I/Os per logical block access.
+    ///
+    /// Zero accesses yield `0.0`, per the workspace-wide [`obs::ratio`]
+    /// convention.
     pub fn miss_ratio(&self) -> f64 {
-        let la = self.logical_accesses();
-        if la == 0 {
-            0.0
-        } else {
-            self.disk_ios() as f64 / la as f64
-        }
+        obs::ratio(self.disk_ios(), self.logical_accesses())
     }
 
     /// Fraction of dirtied blocks that never reached disk (the paper
     /// reports ~75% under delayed-write with large caches).
     pub fn never_written_fraction(&self) -> f64 {
-        if self.blocks_dirtied == 0 {
-            0.0
-        } else {
-            self.dirty_blocks_never_written as f64 / self.blocks_dirtied as f64
-        }
+        obs::ratio(self.dirty_blocks_never_written, self.blocks_dirtied)
     }
 
     /// Fraction of dirty residencies longer than `minutes`.

@@ -78,25 +78,29 @@ impl ReplayEvent {
 }
 
 /// Process-wide count of trace expansions performed by
-/// [`replay_events`].
+/// [`replay_events`], exported via [`obs::global`] as
+/// `cachesim.replay.expansions`.
 ///
 /// Expansion dominates sweep setup cost, so the sweep engine is careful
 /// to do it once per (trace, expansion-relevant options) group; tests
 /// read this counter to verify that sharing actually happens. Counts
 /// monotonically across the whole process — callers should diff
 /// before/after values rather than compare absolutes.
-static EXPANSIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+fn expansions_counter() -> &'static obs::Counter {
+    static CELL: std::sync::OnceLock<obs::Counter> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| obs::global().counter("cachesim.replay.expansions"))
+}
 
 /// Returns the process-wide [`replay_events`] invocation count.
 pub fn expansion_count() -> u64 {
-    EXPANSIONS.load(std::sync::atomic::Ordering::Relaxed)
+    expansions_counter().get()
 }
 
 /// Expands a trace into time-ordered replay events under a configuration
 /// (the `rw_handling` and `simulate_paging` options affect the
 /// expansion).
 pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
-    EXPANSIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    expansions_counter().inc();
     let sessions = trace.sessions();
     let mut events: Vec<ReplayEvent> = Vec::new();
     for s in sessions.all() {

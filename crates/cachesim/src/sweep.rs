@@ -31,7 +31,7 @@ use fstrace::Trace;
 
 use crate::config::{CacheConfig, RwHandling};
 use crate::metrics::CacheMetrics;
-use crate::replay::{replay_events, Simulator};
+use crate::replay::{replay_events, ReplayEvent, Simulator};
 
 /// The subset of [`CacheConfig`] that [`replay_events`] depends on.
 ///
@@ -94,6 +94,13 @@ pub fn run_with_jobs(
     configs: &[CacheConfig],
     jobs: usize,
 ) -> Vec<(CacheConfig, CacheMetrics)> {
+    let reg = obs::global();
+    let _sweep_timing = reg.span("cachesim.sweep.run").start();
+    // Per-cell timing handles, shared by all workers (lock-free span,
+    // coarse-grained histogram — one record per simulated cell).
+    let cell_span = reg.span("cachesim.sweep.cell");
+    let cell_us = reg.histogram("cachesim.sweep.cell_us");
+
     // Group config indices by expansion key, preserving first-seen
     // order. At most 6 distinct keys exist, so a linear scan beats a
     // hash map.
@@ -113,7 +120,7 @@ pub fn run_with_jobs(
         let workers = jobs.max(1).min(idxs.len());
         if workers <= 1 {
             for &i in idxs {
-                slots[i] = Some(Simulator::run_events(&events, &configs[i]));
+                slots[i] = Some(timed_cell(&events, &configs[i], &cell_span, &cell_us));
             }
             continue;
         }
@@ -126,7 +133,7 @@ pub fn run_with_jobs(
                         loop {
                             let n = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = idxs.get(n) else { break };
-                            out.push((i, Simulator::run_events(&events, &configs[i])));
+                            out.push((i, timed_cell(&events, &configs[i], &cell_span, &cell_us)));
                         }
                         out
                     })
@@ -142,11 +149,65 @@ pub fn run_with_jobs(
         }
     }
 
-    configs
+    let out: Vec<(CacheConfig, CacheMetrics)> = configs
         .iter()
         .cloned()
         .zip(slots.into_iter().map(|m| m.expect("every slot filled")))
-        .collect()
+        .collect();
+    publish_sweep_totals(reg, groups.len(), &out);
+    out
+}
+
+/// Runs one sweep cell under wall-clock timing.
+fn timed_cell(
+    events: &[ReplayEvent],
+    config: &CacheConfig,
+    span: &obs::Span,
+    hist: &obs::Histogram,
+) -> CacheMetrics {
+    let started = std::time::Instant::now();
+    let metrics = Simulator::run_events(events, config);
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    span.record_ns(ns);
+    hist.record(ns / 1_000);
+    metrics
+}
+
+/// Batch-adds one sweep's aggregate traffic into the global registry.
+///
+/// `read_misses` is derived as `logical_reads - read_hits`, which the
+/// metrics-invariant suite cross-checks against `disk_reads` plus
+/// elided fetches.
+fn publish_sweep_totals(
+    reg: &obs::Registry,
+    groups: usize,
+    results: &[(CacheConfig, CacheMetrics)],
+) {
+    reg.counter("cachesim.sweep.runs").inc();
+    reg.counter("cachesim.sweep.groups").add(groups as u64);
+    reg.counter("cachesim.sweep.cells")
+        .add(results.len() as u64);
+    let mut logical_reads = 0u64;
+    let mut logical_writes = 0u64;
+    let mut read_hits = 0u64;
+    let mut disk_reads = 0u64;
+    let mut disk_writes = 0u64;
+    for (_, m) in results {
+        logical_reads += m.logical_reads;
+        logical_writes += m.logical_writes;
+        read_hits += m.read_hits;
+        disk_reads += m.disk_reads;
+        disk_writes += m.disk_writes;
+    }
+    reg.counter("cachesim.sweep.logical_reads")
+        .add(logical_reads);
+    reg.counter("cachesim.sweep.logical_writes")
+        .add(logical_writes);
+    reg.counter("cachesim.sweep.read_hits").add(read_hits);
+    reg.counter("cachesim.sweep.read_misses")
+        .add(logical_reads - read_hits);
+    reg.counter("cachesim.sweep.disk_reads").add(disk_reads);
+    reg.counter("cachesim.sweep.disk_writes").add(disk_writes);
 }
 
 #[cfg(test)]

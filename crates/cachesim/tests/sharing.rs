@@ -36,6 +36,39 @@ fn sweep_expands_once_per_group() {
             })
         })
         .collect();
+
+    // Sharing must hold for every worker count, with bit-identical
+    // results, and the obs registry must agree with expansion_count().
+    let mut all_results = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        let before = obs::global().snapshot();
+        let count_before = cachesim::expansion_count();
+        let results = sweep::run_with_jobs(&trace, &grid, jobs);
+        let after = obs::global().snapshot();
+        assert_eq!(
+            cachesim::expansion_count() - count_before,
+            1,
+            "12 same-key configs must share one expansion at jobs={jobs}"
+        );
+        assert_eq!(
+            after.counter("cachesim.replay.expansions").unwrap_or(0)
+                - before.counter("cachesim.replay.expansions").unwrap_or(0),
+            1,
+            "obs counter must mirror expansion_count() at jobs={jobs}"
+        );
+        assert_eq!(
+            after.counter("cachesim.sweep.cells").unwrap_or(0)
+                - before.counter("cachesim.sweep.cells").unwrap_or(0),
+            grid.len() as u64,
+            "jobs={jobs}"
+        );
+        all_results.push(results);
+    }
+    assert!(
+        all_results.windows(2).all(|w| w[0] == w[1]),
+        "sweep results must be bit-identical across jobs 1/2/8"
+    );
+
     let before = cachesim::expansion_count();
     sweep::run_with_jobs(&trace, &grid, 4);
     assert_eq!(

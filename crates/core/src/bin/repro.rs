@@ -1,7 +1,7 @@
 //! `repro`: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N]
+//! repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N] [--metrics PATH]
 //!
 //! EXPERIMENT: all (default) | table1 | table3 | table4 | table5 |
 //!             fig1 | fig2 | fig3 | fig4 | gaps | table6 | table7 |
@@ -9,13 +9,23 @@
 //!
 //! --jobs N caps the worker threads the cache-simulation sweeps use
 //! (default: all available cores). Results are identical for any N.
+//!
+//! --metrics PATH writes an `obs/v1` JSON snapshot of every internal
+//! metric (cache counters, codec throughput, workload generation,
+//! sweep timing) to PATH at exit. Experiment output on stdout stays
+//! bit-identical with or without the flag; wall-clock values live only
+//! in the JSON and in per-phase timing lines on stderr.
 //! ```
+
+use std::time::Instant;
 
 use bsdtrace::{experiments, ReproConfig, TraceSet};
 
 fn main() {
     let mut which = "all".to_string();
     let mut config = ReproConfig::default();
+    let mut metrics_path: Option<String> = None;
+    let mut jobs_flag: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -38,10 +48,14 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--jobs needs a positive integer"));
                 cachesim::sweep::set_default_jobs(jobs);
+                jobs_flag = Some(jobs);
+            }
+            "--metrics" => {
+                metrics_path = Some(args.next().unwrap_or_else(|| die("--metrics needs a path")));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N]\n\
+                    "usage: repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N] [--metrics PATH]\n\
                      experiments: all table1 table3 table4 table5 fig1 fig2 fig3 fig4\n\
                      \x20            gaps table6 table7 fig7 residency compare ablations server"
                 );
@@ -72,10 +86,14 @@ fn main() {
         config.hours,
         config.seed
     );
-    let set = if needs_all_traces {
-        TraceSet::generate(&config)
-    } else {
-        TraceSet::generate_a5(&config)
+    let gen_started = Instant::now();
+    let set = {
+        let _timing = obs::global().span("repro.generate_traces").start();
+        if needs_all_traces {
+            TraceSet::generate(&config)
+        } else {
+            TraceSet::generate_a5(&config)
+        }
     }
     .unwrap_or_else(|e| die(&format!("trace generation failed: {e}")));
     for e in &set.entries {
@@ -85,27 +103,38 @@ fn main() {
             e.out.trace.len(),
             e.out.trace.summary().total_mbytes_transferred()
         );
+        // Export each file system's cache counters (buffer cache, name
+        // cache, inode table) under its trace name.
+        e.out
+            .fs
+            .register_obs(obs::global(), &format!("bsdfs.{}", e.name));
     }
+    eprintln!("  [timing] generate_traces: {:.1} ms", ms(gen_started));
     eprintln!();
 
-    let run_one = |name: &str| match name {
-        "table1" => println!("{}\n", experiments::table1::run(&set)),
-        "table3" => println!("{}\n", experiments::table3::run(&set)),
-        "table4" => println!("{}\n", experiments::table4::run(&set)),
-        "table5" => println!("{}\n", experiments::table5::run(&set)),
-        "fig1" => println!("{}", experiments::fig1::run(&set)),
-        "fig2" => println!("{}", experiments::fig2::run(&set)),
-        "fig3" => println!("{}\n", experiments::fig3::run(&set)),
-        "fig4" => println!("{}", experiments::fig4::run(&set)),
-        "gaps" => println!("{}\n", experiments::gaps::run(&set)),
-        "table6" => println!("{}\n", experiments::table6::run(&set)),
-        "table7" => println!("{}\n", experiments::table7::run(&set)),
-        "fig7" => println!("{}\n", experiments::fig7::run(&set)),
-        "residency" => println!("{}\n", experiments::residency::run(&set)),
-        "compare" => println!("{}\n", experiments::comparisons::run(&set)),
-        "ablations" => println!("{}\n", experiments::ablations::run(&set)),
-        "server" => println!("{}\n", experiments::server::run(&set)),
-        other => die(&format!("unknown experiment {other}")),
+    let run_one = |name: &str| {
+        let started = Instant::now();
+        let _timing = obs::global().span(&format!("repro.{name}")).start();
+        match name {
+            "table1" => println!("{}\n", experiments::table1::run(&set)),
+            "table3" => println!("{}\n", experiments::table3::run(&set)),
+            "table4" => println!("{}\n", experiments::table4::run(&set)),
+            "table5" => println!("{}\n", experiments::table5::run(&set)),
+            "fig1" => println!("{}", experiments::fig1::run(&set)),
+            "fig2" => println!("{}", experiments::fig2::run(&set)),
+            "fig3" => println!("{}\n", experiments::fig3::run(&set)),
+            "fig4" => println!("{}", experiments::fig4::run(&set)),
+            "gaps" => println!("{}\n", experiments::gaps::run(&set)),
+            "table6" => println!("{}\n", experiments::table6::run(&set)),
+            "table7" => println!("{}\n", experiments::table7::run(&set)),
+            "fig7" => println!("{}\n", experiments::fig7::run(&set)),
+            "residency" => println!("{}\n", experiments::residency::run(&set)),
+            "compare" => println!("{}\n", experiments::comparisons::run(&set)),
+            "ablations" => println!("{}\n", experiments::ablations::run(&set)),
+            "server" => println!("{}\n", experiments::server::run(&set)),
+            other => die(&format!("unknown experiment {other}")),
+        }
+        eprintln!("  [timing] {name}: {:.1} ms", ms(started));
     };
 
     if which == "all" {
@@ -132,6 +161,29 @@ fn main() {
     } else {
         run_one(&which);
     }
+
+    if let Some(path) = metrics_path {
+        let jobs = jobs_flag.unwrap_or_else(cachesim::sweep::default_jobs);
+        let mut meta = vec![
+            ("experiment", which.clone()),
+            ("hours", format!("{}", config.hours)),
+            ("seed", format!("{}", config.seed)),
+            ("jobs", format!("{jobs}")),
+        ];
+        // ci.sh stamps artifacts with the commit they came from.
+        if let Ok(sha) = std::env::var("BSDTRACE_GIT_SHA") {
+            meta.push(("git_sha", sha));
+        }
+        let meta: Vec<(&str, String)> = meta;
+        let json = obs::global().snapshot().to_json_with_meta(&meta);
+        std::fs::write(&path, json + "\n")
+            .unwrap_or_else(|e| die(&format!("cannot write metrics to {path}: {e}")));
+        eprintln!("metrics written to {path}");
+    }
+}
+
+fn ms(started: Instant) -> f64 {
+    started.elapsed().as_secs_f64() * 1e3
 }
 
 fn die(msg: &str) -> ! {

@@ -18,9 +18,29 @@
 //! Payloads per tag are sequences of varints (see `encode_into`).
 
 use std::io::{self, Read, Write};
+use std::sync::OnceLock;
 
 use crate::event::{AccessMode, TraceEvent, TraceRecord};
 use crate::ids::{FileId, OpenId, Timestamp, UserId};
+
+/// Process-global codec throughput counters, exported via
+/// [`obs::global`] under `fstrace.codec.*`.
+struct CodecCounters {
+    records_encoded: obs::Counter,
+    bytes_encoded: obs::Counter,
+    records_decoded: obs::Counter,
+    bytes_decoded: obs::Counter,
+}
+
+fn codec_counters() -> &'static CodecCounters {
+    static CELLS: OnceLock<CodecCounters> = OnceLock::new();
+    CELLS.get_or_init(|| CodecCounters {
+        records_encoded: obs::global().counter("fstrace.codec.records_encoded"),
+        bytes_encoded: obs::global().counter("fstrace.codec.bytes_encoded"),
+        records_decoded: obs::global().counter("fstrace.codec.records_decoded"),
+        bytes_decoded: obs::global().counter("fstrace.codec.bytes_decoded"),
+    })
+}
 
 /// File magic for binary traces.
 pub const MAGIC: [u8; 4] = *b"FSTR";
@@ -315,6 +335,9 @@ impl<W: Write> TraceWriter<W> {
         self.prev_ticks = encode_into(&mut self.buf, rec, self.prev_ticks);
         self.inner.write_all(&self.buf)?;
         self.bytes_written += self.buf.len() as u64;
+        let c = codec_counters();
+        c.records_encoded.inc();
+        c.bytes_encoded.add(self.buf.len() as u64);
         Ok(())
     }
 
@@ -363,9 +386,13 @@ impl TraceReader {
     /// Decodes every remaining record.
     pub fn read_all(mut self) -> Result<Vec<TraceRecord>, DecodeError> {
         let mut out = Vec::new();
+        let c = codec_counters();
         while self.pos < self.buf.len() {
+            let before = self.pos;
             let (rec, ticks) = decode_from(&self.buf, &mut self.pos, self.prev_ticks)?;
             self.prev_ticks = ticks;
+            c.records_decoded.inc();
+            c.bytes_decoded.add((self.pos - before) as u64);
             out.push(rec);
         }
         Ok(out)
@@ -379,9 +406,13 @@ impl Iterator for TraceReader {
         if self.pos >= self.buf.len() {
             return None;
         }
+        let before = self.pos;
         match decode_from(&self.buf, &mut self.pos, self.prev_ticks) {
             Ok((rec, ticks)) => {
                 self.prev_ticks = ticks;
+                let c = codec_counters();
+                c.records_decoded.inc();
+                c.bytes_decoded.add((self.pos - before) as u64);
                 Some(Ok(rec))
             }
             Err(e) => {

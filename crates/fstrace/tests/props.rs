@@ -135,4 +135,49 @@ proptest! {
         prop_assert_eq!(total, s.records);
         prop_assert_eq!(s.records, trace.len() as u64);
     }
+
+    /// Every proper prefix of a valid binary trace decodes to a clean
+    /// error or a shorter record list — never a panic, never phantom
+    /// records beyond what the prefix holds.
+    #[test]
+    fn truncated_binary_never_panics(trace in arb_trace(), cut in 0usize..4096) {
+        let bytes = trace.to_binary();
+        let cut = cut % bytes.len().max(1); // Proper prefix of any length.
+        match Trace::from_binary(&bytes[..cut]) {
+            Ok(t) => prop_assert!(t.len() <= trace.len()),
+            Err(e) => {
+                // The error formats without panicking, too.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Records with timestamps at and around the 10 ms quantization
+    /// boundary survive a binary round trip: encoding uses quantized
+    /// tick deltas, so two records in the same tick must not drift.
+    #[test]
+    fn quantization_edge_roundtrip(
+        base in 0u64..1_000_000u64,
+        offsets in prop::collection::vec(0u64..30, 1..20),
+        e in arb_event(),
+    ) {
+        // Timestamps cluster within a few ticks of `base`, hitting the
+        // x9/x0 boundaries where quantized deltas could misaccumulate.
+        let mut ms: Vec<u64> = offsets.iter().map(|&o| base + o).collect();
+        ms.sort_unstable();
+        let records: Vec<TraceRecord> = ms
+            .iter()
+            .map(|&t| TraceRecord::new(t, e))
+            .collect();
+        let trace = Trace::from_records(records.clone());
+        let back = Trace::from_binary(&trace.to_binary()).unwrap();
+        prop_assert_eq!(back.len(), records.len());
+        for (got, want) in back.records().iter().zip(&records) {
+            // The codec stores quantized ticks: each decoded time must
+            // equal the quantized original exactly (no cumulative
+            // drift), and quantization only rounds down, within 10 ms.
+            prop_assert_eq!(got.time, want.time);
+            prop_assert_eq!(got.time.as_ms(), want.time.as_ms() / 10 * 10);
+        }
+    }
 }

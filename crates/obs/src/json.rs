@@ -1,0 +1,199 @@
+//! Minimal JSON emission for metric snapshots.
+//!
+//! The build environment is offline, so `serde_json` cannot be added;
+//! this module implements the small subset needed to serialize a
+//! [`crate::Snapshot`]: object/array nesting, string escaping per RFC
+//! 8259, and integer/float numbers. Emission order is caller-controlled
+//! (snapshots iterate sorted maps), so output is deterministic.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *contents* of a JSON string (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An indentation-aware JSON writer.
+///
+/// # Examples
+///
+/// ```
+/// use obs::json::JsonWriter;
+///
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("answer");
+/// w.number(42);
+/// w.end_object();
+/// assert_eq!(w.finish(), "{\n  \"answer\": 42\n}");
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    depth: usize,
+    /// Whether the current container already holds a value (so the next
+    /// entry needs a comma).
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn pad(&mut self) {
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Separates from the previous sibling and indents, if inside a
+    /// container and not immediately after a key.
+    fn prepare_value(&mut self) {
+        if self.out.ends_with(": ") {
+            return; // Value follows its key on the same line.
+        }
+        if let Some(needs) = self.needs_comma.last_mut() {
+            if *needs {
+                self.out.push(',');
+            }
+            *needs = true;
+            self.out.push('\n');
+            self.pad();
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.prepare_value();
+        self.out.push('{');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        let had_values = self.needs_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_values {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.prepare_value();
+        self.out.push('[');
+        self.depth += 1;
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        let had_values = self.needs_comma.pop().unwrap_or(false);
+        self.depth -= 1;
+        if had_values {
+            self.out.push('\n');
+            self.pad();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes an object key; the next value lands on the same line.
+    pub fn key(&mut self, name: &str) {
+        self.prepare_value();
+        let _ = write!(self.out, "\"{}\": ", escape(name));
+        // The key itself must not trigger a comma for its value.
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn number(&mut self, v: u64) {
+        self.prepare_value();
+        let _ = write!(self.out, "{v}");
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, v: &str) {
+        self.prepare_value();
+        let _ = write!(self.out, "\"{}\"", escape(v));
+    }
+
+    /// Returns the accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn nested_structure_renders() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        w.key("a");
+        w.number(1);
+        w.key("b");
+        w.number(2);
+        w.end_object();
+        w.key("list");
+        w.begin_array();
+        w.number(3);
+        w.number(4);
+        w.end_array();
+        w.key("name");
+        w.string("x\"y");
+        w.end_object();
+        let s = w.finish();
+        assert_eq!(
+            s,
+            "{\n  \"counters\": {\n    \"a\": 1,\n    \"b\": 2\n  },\n  \
+             \"list\": [\n    3,\n    4\n  ],\n  \"name\": \"x\\\"y\"\n}"
+        );
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("empty_obj");
+        w.begin_object();
+        w.end_object();
+        w.key("empty_arr");
+        w.begin_array();
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            "{\n  \"empty_obj\": {},\n  \"empty_arr\": []\n}"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Unified observability for the trace-driven pipeline.
+//!
+//! The paper's entire method is measurement, yet until this crate the
+//! pipeline's own behavior — buffer/name/inode cache hit rates in
+//! `bsdfs`, codec throughput in `fstrace`, event generation in
+//! `workload`, per-cell simulation cost in `cachesim::sweep` — was
+//! scattered across bespoke stat structs with no common export. `obs`
+//! provides the one mechanism they all share:
+//!
+//! * [`Counter`] — a lock-free atomic counter. Handles are cheap
+//!   [`Clone`]s of one shared cell, so a subsystem can keep its handle
+//!   in a hot path while the same cell is registered for export.
+//! * [`Histogram`] — a [`simstat::LogHistogram`]-backed value recorder
+//!   (power-of-two buckets) with count/sum/min/max, for latencies and
+//!   sizes.
+//! * [`Span`] — wall-clock timing of named scopes: total nanoseconds
+//!   and entry count, recorded via RAII guards or explicit
+//!   [`Span::record_ns`].
+//! * [`Registry`] — a name → metric map with get-or-register semantics
+//!   and [`Registry::snapshot`], which freezes every metric into a
+//!   [`Snapshot`] that serializes to a stable JSON schema
+//!   (see [`Snapshot::to_json`]). A process-wide registry is available
+//!   via [`global`]; per-instance metrics (one per file system, say)
+//!   attach existing handles under a caller-chosen prefix.
+//!
+//! The JSON encoder is built in ([`json`]): the build environment is
+//! offline, so `serde`/`serde_json` cannot be fetched, and the schema
+//! is small enough that a hand-rolled writer keeps the crate
+//! dependency-free. The schema is versioned (`"obs/v1"`) and its field
+//! order is deterministic (B-tree iteration, sorted names), so two
+//! identical runs produce byte-identical snapshots up to wall-clock
+//! timing values.
+//!
+//! # Zero-division convention
+//!
+//! Every derived ratio in the workspace (miss ratios, hit ratios,
+//! never-written fractions) goes through [`ratio`]: an empty
+//! denominator yields `0.0`, never `NaN` — "no traffic" reads as "no
+//! misses", and reports render `0.0%` instead of `NaN%`.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::Registry;
+//!
+//! let reg = Registry::new();
+//! let hits = reg.counter("cache.hits");
+//! hits.add(3);
+//! reg.counter("cache.hits").inc(); // Same cell: get-or-register.
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("cache.hits"), Some(4));
+//! assert!(snap.to_json().contains("\"cache.hits\": 4"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metric;
+mod registry;
+
+pub use metric::{Counter, HistSnapshot, Histogram, Span, SpanGuard, SpanSnapshot};
+pub use registry::{Registry, Snapshot};
+
+/// The process-wide registry.
+///
+/// Subsystems that meter process-global activity (codec throughput,
+/// sweep expansions) register here; `repro --metrics` snapshots it at
+/// the end of a run.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// The workspace-wide zero-division convention for derived ratios.
+///
+/// Returns `numerator / denominator`, or `0.0` when `denominator` is
+/// zero. Every hit/miss/elimination ratio in `bsdfs` and `cachesim`
+/// routes through this function so that an idle cache uniformly reports
+/// a ratio of zero (not `NaN`, not `Inf`), and the choice is made in
+/// exactly one documented place.
+pub fn ratio(numerator: u64, denominator: u64) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_normal_division() {
+        assert!((ratio(1, 4) - 0.25).abs() < 1e-12);
+        assert!((ratio(3, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(ratio(0, 5), 0.0);
+    }
+
+    #[test]
+    fn ratio_zero_denominator_is_zero_not_nan() {
+        assert_eq!(ratio(0, 0), 0.0);
+        assert_eq!(ratio(17, 0), 0.0);
+        assert!(!ratio(u64::MAX, 0).is_nan());
+    }
+
+    #[test]
+    fn ratio_large_values_stay_finite() {
+        assert!(ratio(u64::MAX, 1).is_finite());
+        assert!(ratio(1, u64::MAX) > 0.0);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("obs.test.shared");
+        let before = c.get();
+        global().counter("obs.test.shared").add(2);
+        assert_eq!(c.get(), before + 2);
+    }
+}

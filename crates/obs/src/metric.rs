@@ -1,0 +1,317 @@
+//! The three metric kinds: counters, histograms, and spans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use simstat::{Bucket, LogHistogram};
+
+/// A lock-free monotonic counter.
+///
+/// Cloning a `Counter` clones the *handle*; all clones share one atomic
+/// cell, which is what lets a cache keep its handle on the hot path
+/// while a [`crate::Registry`] exports the same cell by name.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Counter;
+///
+/// let c = Counter::new();
+/// let handle = c.clone();
+/// c.add(2);
+/// handle.inc();
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Accumulated wall-clock time for one named scope.
+///
+/// A span records how many times the scope was entered and the total
+/// nanoseconds spent inside it. Like [`Counter`], clones share one pair
+/// of atomic cells, so worker threads can record into the same span
+/// without locks.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Span;
+///
+/// let span = Span::new();
+/// {
+///     let _guard = span.start(); // Records on drop.
+/// }
+/// span.record_ns(1_000);
+/// assert_eq!(span.count(), 2);
+/// assert!(span.total_ns() >= 1_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Span(Arc<SpanCells>);
+
+#[derive(Debug, Default)]
+struct SpanCells {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+impl Span {
+    /// Creates an empty span.
+    pub fn new() -> Self {
+        Span::default()
+    }
+
+    /// Enters the scope; the returned guard records elapsed wall-clock
+    /// time when dropped.
+    pub fn start(&self) -> SpanGuard {
+        SpanGuard {
+            span: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one entry of `ns` nanoseconds directly (for callers that
+    /// measure time themselves).
+    pub fn record_ns(&self, ns: u64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.total_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded entries.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.0.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the span into a value snapshot.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            count: self.count(),
+            total_ns: self.total_ns(),
+        }
+    }
+}
+
+/// RAII guard produced by [`Span::start`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    span: Span,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.span.record_ns(ns);
+    }
+}
+
+/// Frozen [`Span`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Number of recorded entries.
+    pub count: u64,
+    /// Total recorded nanoseconds.
+    pub total_ns: u64,
+}
+
+/// A value recorder over power-of-two buckets, for latencies and sizes.
+///
+/// Backed by [`simstat::LogHistogram`] — the same fixed-memory bucketing
+/// the paper-facing analyses use — plus exact count, sum, min, and max.
+/// The mutex is uncontended in practice (recording sites are either
+/// single-threaded or coarse-grained); the atomic counters stay on the
+/// hottest paths.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Histogram;
+///
+/// let h = Histogram::new();
+/// h.record(100);
+/// h.record(300);
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 2);
+/// assert_eq!(s.sum, 400);
+/// assert_eq!((s.min, s.max), (100, 300));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<Mutex<HistCells>>);
+
+#[derive(Debug, Default)]
+struct HistCells {
+    hist: LogHistogram,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let mut cells = self.0.lock().expect("histogram lock");
+        cells.hist.add(value);
+        if cells.count == 0 {
+            cells.min = value;
+            cells.max = value;
+        } else {
+            cells.min = cells.min.min(value);
+            cells.max = cells.max.max(value);
+        }
+        cells.count += 1;
+        cells.sum = cells.sum.saturating_add(value);
+    }
+
+    /// Freezes the histogram into a value snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let cells = self.0.lock().expect("histogram lock");
+        HistSnapshot {
+            count: cells.count,
+            sum: cells.sum,
+            min: cells.min,
+            max: cells.max,
+            buckets: cells
+                .hist
+                .buckets()
+                .into_iter()
+                .filter(|b| b.weight > 0)
+                .collect(),
+        }
+    }
+}
+
+/// Frozen [`Histogram`] values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty power-of-two buckets, in increasing value order.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistSnapshot {
+    /// Mean observed value under the workspace zero-division convention
+    /// (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        crate::ratio(self.sum, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.add(5);
+        b.inc();
+        assert_eq!(a.get(), 6);
+        assert_eq!(b.get(), 6);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let s = Span::new();
+        {
+            let _g = s.start();
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(s.count(), 1);
+        // Wall-clock may legitimately read 0 ns on coarse clocks, so
+        // only the entry count is asserted exactly.
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.total_ns, s.total_ns());
+    }
+
+    #[test]
+    fn span_record_ns_accumulates() {
+        let s = Span::new();
+        s.record_ns(10);
+        s.record_ns(32);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total_ns(), 42);
+    }
+
+    #[test]
+    fn histogram_tracks_extremes_and_buckets() {
+        let h = Histogram::new();
+        for v in [4u64, 1, 9, 1] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 15);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert!((s.mean() - 3.75).abs() < 1e-12);
+        // [1,2) holds two, [4,8) one, [8,16) one; empty buckets dropped.
+        let weights: Vec<u64> = s.buckets.iter().map(|b| b.weight).collect();
+        assert_eq!(weights, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counting_loses_nothing() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

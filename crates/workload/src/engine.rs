@@ -98,6 +98,7 @@ enum Actor {
 /// configured disk is too small); runtime command errors are counted in
 /// [`GeneratedTrace::errors`] instead.
 pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
+    let _timing = obs::global().span("workload.generate").start();
     let mut fs = Fs::new(config.fs_params.clone())?;
     let mut master = Sampler::new(config.seed);
     fs.set_trace_enabled(false);
@@ -129,7 +130,9 @@ pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
     heap.push(Reverse((60_000.min(end_ms), actors.len() - 1)));
 
     let mut errors = 0u64;
+    let mut steps = 0u64;
     while let Some(Reverse((now, idx))) = heap.pop() {
+        steps += 1;
         if now >= end_ms {
             continue;
         }
@@ -161,6 +164,13 @@ pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
     }
     fs.sync(end_ms);
     let trace = fs.take_trace();
+    // Batch-add to the global counters once per run: the hot loop stays
+    // free of shared-cell traffic.
+    obs::global().counter("workload.actor_steps").add(steps);
+    obs::global().counter("workload.errors").add(errors);
+    obs::global()
+        .counter("workload.events")
+        .add(trace.records().len() as u64);
     Ok(GeneratedTrace { trace, fs, errors })
 }
 
