@@ -19,6 +19,48 @@ echo "== metrics invariants and goldens"
 cargo test -q -p bsdtrace --test metrics --test goldens
 cargo test -q -p cachesim --test sharing
 
+echo "== bounded-memory smoke (streaming pipeline under ulimit -v)"
+# The streaming pipeline must generate, analyze, and replay a 2-hour
+# trace inside a hard 512 MB address-space cap (the simulated disk's
+# block map alone reserves ~264 MB of address space, touched sparsely)
+# — and its reorder buffer must stay sublinear in trace length (the
+# fstrace.pipeline.buffered_records_peak gauge, printed by streambench
+# from the obs registry).
+mkdir -p target/artifacts
+(
+    ulimit -v 524288
+    ./target/release/streambench --mode streaming --hours 2 --json \
+        > target/artifacts/BENCH_streaming_smoke.json
+)
+awk -F'[:,]' '
+    /"records"/ { records = $2 }
+    /"buffered_records_peak"/ { peak = $2 }
+    END {
+        if (records < 1000) { print "   smoke: too few records (" records ")"; exit 1 }
+        if (peak <= 0 || peak * 20 > records) {
+            print "   smoke: reorder buffer not sublinear (" peak " of " records ")"; exit 1
+        }
+        print "   smoke: " records " records, buffered peak " peak
+    }' target/artifacts/BENCH_streaming_smoke.json
+
+echo "== streaming vs materialized benchmark artifact"
+# Both modes, same workload: digests must match (the streaming pipeline
+# is the only implementation; this is the end-to-end check), and the
+# artifact records the wall/RSS comparison for trend-watching.
+./target/release/streambench --mode materialized --hours 1 --json \
+    > target/artifacts/BENCH_materialized.json
+./target/release/streambench --mode streaming --hours 1 --json \
+    > target/artifacts/BENCH_streaming.json
+for key in records total_bytes miss_ratio disk_reads disk_writes; do
+    a=$(grep "\"$key\"" target/artifacts/BENCH_materialized.json)
+    b=$(grep "\"$key\"" target/artifacts/BENCH_streaming.json)
+    if [ "$a" != "$b" ]; then
+        echo "   digest mismatch on $key: '$a' vs '$b'"
+        exit 1
+    fi
+done
+echo "   wrote target/artifacts/BENCH_{streaming,materialized}.json (digests identical)"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

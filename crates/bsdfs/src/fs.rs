@@ -1448,6 +1448,14 @@ impl Fs {
         self.tracer.take()
     }
 
+    /// Drains the raw trace records collected so far, in arrival order.
+    ///
+    /// Streaming consumers call this after every batch of operations so
+    /// the tracer's buffer never grows beyond one batch.
+    pub fn drain_trace_records(&mut self) -> std::vec::Drain<'_, fstrace::TraceRecord> {
+        self.tracer.drain_records()
+    }
+
     /// Walks the directory tree verifying structural invariants; returns
     /// the number of live files found. Used by tests ("fsck-lite").
     ///

@@ -139,6 +139,16 @@ impl Tracer {
     pub fn take(&mut self) -> Trace {
         Trace::from_records(std::mem::take(&mut self.records))
     }
+
+    /// Drains the collected records in arrival order, leaving the tracer
+    /// empty (open id assignment continues from where it was).
+    ///
+    /// This is the streaming sibling of [`Tracer::take`]: callers that
+    /// consume records incrementally avoid ever materialising a full
+    /// [`Trace`].
+    pub fn drain_records(&mut self) -> std::vec::Drain<'_, TraceRecord> {
+        self.records.drain(..)
+    }
 }
 
 #[cfg(test)]

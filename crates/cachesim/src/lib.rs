@@ -63,6 +63,6 @@ pub mod sweep;
 pub use cache::{BlockCache, BlockId};
 pub use config::{CacheConfig, Replacement, RwHandling, WritePolicy};
 pub use metrics::CacheMetrics;
-pub use replay::{expansion_count, replay_events, ReplayEvent, Replayer, Simulator};
+pub use replay::{expansion_count, replay_events, EventExpander, ReplayEvent, Replayer, Simulator};
 pub use series::{MissSeries, SeriesPoint};
 pub use sweep::ExpansionKey;

@@ -5,7 +5,9 @@
 //! block accesses of the configured size (Section 6.1: "we assumed that
 //! programs made requests in units of the cache block size").
 
-use fstrace::{AccessMode, FileId, Trace, TraceEvent};
+use std::collections::HashMap;
+
+use fstrace::{AccessMode, FileId, OpenId, Trace, TraceEvent, TraceRecord};
 
 use crate::cache::{BlockCache, BlockId};
 use crate::config::{CacheConfig, RwHandling};
@@ -63,23 +65,11 @@ impl ReplayEvent {
             | ReplayEvent::Delete { time_ms, .. } => time_ms,
         }
     }
-
-    /// Ordering priority within one timestamp: size hints land first,
-    /// then transfers, then truncations, then deletes — matching the
-    /// natural open → transfer → unlink sequence of a 10 ms tick.
-    fn priority(&self) -> u8 {
-        match self {
-            ReplayEvent::SizeHint { .. } => 0,
-            ReplayEvent::Transfer { .. } => 1,
-            ReplayEvent::TruncateTo { .. } => 2,
-            ReplayEvent::Delete { .. } => 3,
-        }
-    }
 }
 
-/// Process-wide count of trace expansions performed by
-/// [`replay_events`], exported via [`obs::global`] as
-/// `cachesim.replay.expansions`.
+/// Process-wide count of trace expansions started (one per
+/// [`EventExpander`], and thus one per [`replay_events`] call),
+/// exported via [`obs::global`] as `cachesim.replay.expansions`.
 ///
 /// Expansion dominates sweep setup cost, so the sweep engine is careful
 /// to do it once per (trace, expansion-relevant options) group; tests
@@ -99,65 +89,106 @@ pub fn expansion_count() -> u64 {
 /// Expands a trace into time-ordered replay events under a configuration
 /// (the `rw_handling` and `simulate_paging` options affect the
 /// expansion).
+///
+/// A thin wrapper over the streaming [`EventExpander`]: the events are
+/// exactly what the expander emits, in the same order, so replaying
+/// this vector and streaming the records produce identical metrics.
 pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
-    expansions_counter().inc();
-    let sessions = trace.sessions();
+    let mut expander = EventExpander::new(config);
     let mut events: Vec<ReplayEvent> = Vec::new();
-    for s in sessions.all() {
-        for r in &s.runs {
-            let time_ms = r.billed_at.as_ms();
-            match (s.mode, config.rw_handling) {
-                (AccessMode::ReadOnly, _) => events.push(ReplayEvent::Transfer {
-                    time_ms,
-                    file: s.file_id,
-                    offset: r.offset,
-                    len: r.len,
-                    write: false,
-                }),
-                (AccessMode::WriteOnly, _) | (AccessMode::ReadWrite, RwHandling::Write) => events
-                    .push(ReplayEvent::Transfer {
-                        time_ms,
-                        file: s.file_id,
-                        offset: r.offset,
-                        len: r.len,
-                        write: true,
-                    }),
-                (AccessMode::ReadWrite, RwHandling::Read) => events.push(ReplayEvent::Transfer {
-                    time_ms,
-                    file: s.file_id,
-                    offset: r.offset,
-                    len: r.len,
-                    write: false,
-                }),
-                (AccessMode::ReadWrite, RwHandling::Both) => {
-                    events.push(ReplayEvent::Transfer {
-                        time_ms,
-                        file: s.file_id,
-                        offset: r.offset,
-                        len: r.len,
-                        write: false,
-                    });
-                    events.push(ReplayEvent::Transfer {
-                        time_ms,
-                        file: s.file_id,
-                        offset: r.offset,
-                        len: r.len,
-                        write: true,
-                    });
-                }
+    for rec in trace.records() {
+        expander.feed(rec, &mut |ev| events.push(ev));
+    }
+    events
+}
+
+/// In-flight position tracking for one open file during expansion.
+struct PendingOpen {
+    file: FileId,
+    mode: AccessMode,
+    pos: u64,
+}
+
+/// Streaming trace expansion: feed records in time order, receive the
+/// replay events they imply, in a canonical per-record order.
+///
+/// Each record's events are emitted the moment the record arrives:
+///
+/// * `open` → [`ReplayEvent::SizeHint`], then a zeroing
+///   [`ReplayEvent::TruncateTo`] if the open created/truncated the file;
+/// * `seek`/`close` → the [`ReplayEvent::Transfer`]s for the sequential
+///   run the event bills (for read-write opens under
+///   [`RwHandling::Both`], the read precedes the write);
+/// * `unlink` → [`ReplayEvent::Delete`];
+/// * `truncate` → [`ReplayEvent::TruncateTo`];
+/// * `execve` → a paging read when `simulate_paging` is on.
+///
+/// Event times are therefore nondecreasing whenever the input records
+/// are, which is what [`Replayer`] and [`crate::MissSeries`] require.
+/// Memory is O(simultaneously open files), never O(records) — this is
+/// what lets a sweep cell consume a multi-day trace straight from disk.
+pub struct EventExpander {
+    rw_handling: RwHandling,
+    simulate_paging: bool,
+    pending: HashMap<OpenId, PendingOpen>,
+}
+
+impl EventExpander {
+    /// Creates an expander for a configuration, counting one expansion
+    /// in `cachesim.replay.expansions`.
+    pub fn new(config: &CacheConfig) -> Self {
+        expansions_counter().inc();
+        EventExpander {
+            rw_handling: config.rw_handling,
+            simulate_paging: config.simulate_paging,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// Emits the transfer(s) billed for one sequential run.
+    fn transfer(
+        &self,
+        emit: &mut impl FnMut(ReplayEvent),
+        time_ms: u64,
+        file: FileId,
+        mode: AccessMode,
+        offset: u64,
+        len: u64,
+    ) {
+        let event = |write| ReplayEvent::Transfer {
+            time_ms,
+            file,
+            offset,
+            len,
+            write,
+        };
+        match (mode, self.rw_handling) {
+            (AccessMode::ReadOnly, _) | (AccessMode::ReadWrite, RwHandling::Read) => {
+                emit(event(false));
+            }
+            (AccessMode::WriteOnly, _) | (AccessMode::ReadWrite, RwHandling::Write) => {
+                emit(event(true));
+            }
+            (AccessMode::ReadWrite, RwHandling::Both) => {
+                emit(event(false));
+                emit(event(true));
             }
         }
     }
-    for rec in trace.records() {
+
+    /// Feeds one record, passing each replay event it implies to `emit`.
+    pub fn feed(&mut self, rec: &TraceRecord, emit: &mut impl FnMut(ReplayEvent)) {
         let time_ms = rec.time.as_ms();
         match rec.event {
             TraceEvent::Open {
+                open_id,
                 file_id,
+                mode,
                 size,
                 created,
                 ..
             } => {
-                events.push(ReplayEvent::SizeHint {
+                emit(ReplayEvent::SizeHint {
                     time_ms,
                     file: file_id,
                     size,
@@ -165,26 +196,57 @@ pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
                 if created {
                     // Creation (or truncate-on-open) empties the file:
                     // cached blocks of the old data are stale.
-                    events.push(ReplayEvent::TruncateTo {
+                    emit(ReplayEvent::TruncateTo {
                         time_ms,
                         file: file_id,
                         new_len: 0,
                     });
                 }
+                self.pending.insert(
+                    open_id,
+                    PendingOpen {
+                        file: file_id,
+                        mode,
+                        pos: 0,
+                    },
+                );
             }
-            TraceEvent::Unlink { file_id, .. } => events.push(ReplayEvent::Delete {
+            TraceEvent::Seek {
+                open_id,
+                old_pos,
+                new_pos,
+            } => {
+                let mut run = None;
+                if let Some(p) = self.pending.get_mut(&open_id) {
+                    if old_pos > p.pos {
+                        run = Some((p.file, p.mode, p.pos, old_pos - p.pos));
+                    }
+                    p.pos = new_pos;
+                }
+                if let Some((file, mode, offset, len)) = run {
+                    self.transfer(emit, time_ms, file, mode, offset, len);
+                }
+            }
+            TraceEvent::Close { open_id, final_pos } => {
+                if let Some(p) = self.pending.remove(&open_id) {
+                    if final_pos > p.pos {
+                        self.transfer(emit, time_ms, p.file, p.mode, p.pos, final_pos - p.pos);
+                    }
+                }
+            }
+            TraceEvent::Unlink { file_id, .. } => emit(ReplayEvent::Delete {
                 time_ms,
                 file: file_id,
             }),
             TraceEvent::Truncate {
                 file_id, new_len, ..
-            } => events.push(ReplayEvent::TruncateTo {
+            } => emit(ReplayEvent::TruncateTo {
                 time_ms,
                 file: file_id,
                 new_len,
             }),
-            TraceEvent::Execve { file_id, size, .. } if config.simulate_paging && size > 0 => {
-                events.push(ReplayEvent::Transfer {
+            TraceEvent::Execve { file_id, size, .. } if self.simulate_paging && size > 0 => {
+                emit(ReplayEvent::Transfer {
                     time_ms,
                     file: file_id,
                     offset: 0,
@@ -195,8 +257,6 @@ pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
             _ => {}
         }
     }
-    events.sort_by_key(|e| (e.time(), e.priority()));
-    events
 }
 
 /// Incremental replay state: a cache plus the per-file size tracking
@@ -309,8 +369,7 @@ pub struct Simulator;
 impl Simulator {
     /// Runs one full simulation and returns its metrics.
     pub fn run(trace: &Trace, config: &CacheConfig) -> CacheMetrics {
-        let events = replay_events(trace, config);
-        Self::run_events(&events, config)
+        Self::run_stream(trace.records(), config)
     }
 
     /// Replays pre-expanded events (reusable across configurations that
@@ -319,6 +378,21 @@ impl Simulator {
         let mut r = Replayer::new(config);
         for ev in events {
             r.step(ev);
+        }
+        r.finish()
+    }
+
+    /// Expands and replays records as they stream past, holding only
+    /// O(open files) state — the bounded-memory twin of [`Simulator::run`].
+    pub fn run_stream<I>(records: I, config: &CacheConfig) -> CacheMetrics
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<TraceRecord>,
+    {
+        let mut expander = EventExpander::new(config);
+        let mut r = Replayer::new(config);
+        for rec in records {
+            expander.feed(std::borrow::Borrow::borrow(&rec), &mut |ev| r.step(&ev));
         }
         r.finish()
     }
@@ -470,6 +544,73 @@ mod tests {
         };
         let m = Simulator::run(&b.finish(), &config);
         assert_eq!(m.disk_writes, 1);
+    }
+
+    /// A trace with same-tick events, seeks, RW sessions, truncates,
+    /// deletes, and an unclosed open — for order-sensitive checks.
+    fn busy_trace() -> fstrace::Trace {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f1 = b.new_file_id();
+        let f2 = b.new_file_id();
+        let o1 = b.open(0, f1, u, AccessMode::ReadWrite, 10_000, false);
+        let o2 = b.open(0, f2, u, AccessMode::WriteOnly, 0, true);
+        b.seek(10, o1, 4_000, 8_000);
+        b.close(10, o2, 6_000);
+        b.close(20, o1, 9_500);
+        b.truncate(30, f1, 2_000, u);
+        b.execve(30, f2, u, 6_000);
+        b.unlink(40, f2, u);
+        b.open(50, f1, u, AccessMode::ReadOnly, 2_000, false); // Unclosed.
+        b.finish()
+    }
+
+    /// Streaming expansion+replay equals expanding first and replaying
+    /// the materialized events, for every rw-handling/paging combo.
+    #[test]
+    fn run_stream_matches_run_events() {
+        let trace = busy_trace();
+        for rw in [RwHandling::Read, RwHandling::Write, RwHandling::Both] {
+            for paging in [false, true] {
+                let config = CacheConfig {
+                    rw_handling: rw,
+                    simulate_paging: paging,
+                    ..cfg()
+                };
+                let events = replay_events(&trace, &config);
+                let materialized = Simulator::run_events(&events, &config);
+                let streamed = Simulator::run_stream(trace.records(), &config);
+                assert_eq!(materialized, streamed, "rw {rw:?} paging {paging}");
+            }
+        }
+    }
+
+    /// The expander emits one expansion per instance, exactly like a
+    /// `replay_events` call.
+    #[test]
+    fn expander_counts_one_expansion() {
+        let before = expansion_count();
+        let _ = EventExpander::new(&cfg());
+        assert_eq!(expansion_count(), before + 1);
+        let trace = busy_trace();
+        let _ = replay_events(&trace, &cfg());
+        assert_eq!(expansion_count(), before + 2);
+    }
+
+    /// Replay events come out in nondecreasing time order (what
+    /// `MissSeries` requires), with a record's events contiguous.
+    #[test]
+    fn replay_events_are_time_ordered() {
+        let config = CacheConfig {
+            rw_handling: RwHandling::Both,
+            simulate_paging: true,
+            ..cfg()
+        };
+        let events = replay_events(&busy_trace(), &config);
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(pair[0].time() <= pair[1].time(), "{pair:?}");
+        }
     }
 
     /// Larger caches never do more disk I/O on the same trace (LRU

@@ -20,6 +20,14 @@
 //! deterministic, every metric is bit-identical to what a sequential
 //! [`Simulator::run`] of that configuration would produce.
 //!
+//! [`run_source`] generalizes this to any replayable record stream —
+//! e.g. an incremental trace-file reader or the k-way server merge —
+//! without ever materializing the records themselves. Buffering is
+//! required only when a group has **more than one** cell (the expanded
+//! events are consumed once per cell); a single-cell group streams
+//! records through the [`crate::EventExpander`] directly into its
+//! simulator, holding O(open files) state.
+//!
 //! The engine is dependency-free: plain [`std::thread::scope`] workers
 //! pulling indices from an atomic counter, defaulting to
 //! [`std::thread::available_parallelism`] threads.
@@ -27,11 +35,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
-use fstrace::Trace;
+use fstrace::{Trace, TraceRecord};
 
 use crate::config::{CacheConfig, RwHandling};
 use crate::metrics::CacheMetrics;
-use crate::replay::{replay_events, ReplayEvent, Simulator};
+use crate::replay::{EventExpander, ReplayEvent, Simulator};
 
 /// The subset of [`CacheConfig`] that [`replay_events`] depends on.
 ///
@@ -94,6 +102,33 @@ pub fn run_with_jobs(
     configs: &[CacheConfig],
     jobs: usize,
 ) -> Vec<(CacheConfig, CacheMetrics)> {
+    run_source(|| trace.records().iter(), configs, jobs)
+}
+
+/// Simulates every configuration against a replayable record stream on
+/// `jobs` worker threads, expanding the stream once per
+/// [`ExpansionKey`] group.
+///
+/// `source` is called once per expansion group and must yield the same
+/// records, in time order, each call. A group with a single cell
+/// streams records straight through the expander into its simulator —
+/// no per-record buffering at all; a group with several cells
+/// materializes its event vector once so the scoped thread pool can
+/// borrow it read-only.
+///
+/// The result vector is ordered exactly like `configs`, and each entry
+/// is bit-identical to `Simulator::run` of that configuration over the
+/// same records, for any `jobs >= 1`.
+pub fn run_source<I, F>(
+    source: F,
+    configs: &[CacheConfig],
+    jobs: usize,
+) -> Vec<(CacheConfig, CacheMetrics)>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<TraceRecord>,
+    F: Fn() -> I,
+{
     let reg = obs::global();
     let _sweep_timing = reg.span("cachesim.sweep.run").start();
     // Per-cell timing handles, shared by all workers (lock-free span,
@@ -115,12 +150,29 @@ pub fn run_with_jobs(
 
     let mut slots: Vec<Option<CacheMetrics>> = vec![None; configs.len()];
     for (_, idxs) in &groups {
+        if let [i] = idxs.as_slice() {
+            // A lone cell consumes the expansion exactly once: stream
+            // records through the expander with no event buffering.
+            slots[*i] = Some(timed_cell(&cell_span, &cell_us, || {
+                Simulator::run_stream(source(), &configs[*i])
+            }));
+            continue;
+        }
         // One expansion for the whole group, borrowed by every worker.
-        let events = replay_events(trace, &configs[idxs[0]]);
+        let events: Vec<ReplayEvent> = {
+            let mut expander = EventExpander::new(&configs[idxs[0]]);
+            let mut out = Vec::new();
+            for rec in source() {
+                expander.feed(std::borrow::Borrow::borrow(&rec), &mut |ev| out.push(ev));
+            }
+            out
+        };
         let workers = jobs.max(1).min(idxs.len());
         if workers <= 1 {
             for &i in idxs {
-                slots[i] = Some(timed_cell(&events, &configs[i], &cell_span, &cell_us));
+                slots[i] = Some(timed_cell(&cell_span, &cell_us, || {
+                    Simulator::run_events(&events, &configs[i])
+                }));
             }
             continue;
         }
@@ -133,7 +185,12 @@ pub fn run_with_jobs(
                         loop {
                             let n = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = idxs.get(n) else { break };
-                            out.push((i, timed_cell(&events, &configs[i], &cell_span, &cell_us)));
+                            out.push((
+                                i,
+                                timed_cell(&cell_span, &cell_us, || {
+                                    Simulator::run_events(&events, &configs[i])
+                                }),
+                            ));
                         }
                         out
                     })
@@ -160,13 +217,12 @@ pub fn run_with_jobs(
 
 /// Runs one sweep cell under wall-clock timing.
 fn timed_cell(
-    events: &[ReplayEvent],
-    config: &CacheConfig,
     span: &obs::Span,
     hist: &obs::Histogram,
+    cell: impl FnOnce() -> CacheMetrics,
 ) -> CacheMetrics {
     let started = std::time::Instant::now();
-    let metrics = Simulator::run_events(events, config);
+    let metrics = cell();
     let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
     span.record_ns(ns);
     hist.record(ns / 1_000);
@@ -285,6 +341,23 @@ mod tests {
         let one = run_with_jobs(&trace, &[CacheConfig::default()], 4);
         assert_eq!(one.len(), 1);
         assert_eq!(one[0].1, Simulator::run(&trace, &CacheConfig::default()));
+    }
+
+    #[test]
+    fn run_source_matches_run_for_owned_streams() {
+        let trace = small_trace();
+        // A grid with a lone paging cell: exercises both the streamed
+        // single-cell path and the buffered multi-cell path.
+        let mut configs = grid();
+        configs.push(CacheConfig {
+            simulate_paging: true,
+            ..CacheConfig::default()
+        });
+        for jobs in [1, 4] {
+            let streamed = run_source(|| trace.records().iter().copied(), &configs, jobs);
+            let materialized = run_with_jobs(&trace, &configs, jobs);
+            assert_eq!(streamed, materialized, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Property-based tests for the block cache engine and the replay.
 
-use cachesim::{BlockCache, CacheConfig, Replacement, Simulator, WritePolicy};
-use fstrace::{AccessMode, FileId, TraceBuilder};
+use cachesim::{
+    replay_events, sweep, BlockCache, CacheConfig, Replacement, Simulator, WritePolicy,
+};
+use fstrace::{AccessMode, FileId, OpenId, Trace, TraceBuilder, TraceEvent, TraceRecord, UserId};
 use proptest::prelude::*;
 
 fn cfg(blocks: u64) -> CacheConfig {
@@ -144,5 +146,126 @@ proptest! {
         prop_assert_eq!(m.logical_writes, 0);
         // Disk reads are bounded by logical reads.
         prop_assert!(m.disk_reads <= m.logical_reads);
+    }
+}
+
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![
+        Just(AccessMode::ReadOnly),
+        Just(AccessMode::WriteOnly),
+        Just(AccessMode::ReadWrite),
+    ]
+}
+
+/// Raw events with tight id ranges: opens and closes pair up often,
+/// and the expander also sees every anomaly (orphan closes, reused
+/// open ids, seeks on dead handles).
+fn arb_raw_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (
+            0u64..10,
+            0u64..6,
+            0u32..4,
+            arb_mode(),
+            0u64..200_000,
+            any::<bool>()
+        )
+            .prop_map(|(o, f, u, mode, size, created)| TraceEvent::Open {
+                open_id: OpenId(o),
+                file_id: FileId(f),
+                user_id: UserId(u),
+                mode,
+                size,
+                created,
+            }),
+        (0u64..10, 0u64..200_000).prop_map(|(o, p)| TraceEvent::Close {
+            open_id: OpenId(o),
+            final_pos: p,
+        }),
+        (0u64..10, 0u64..200_000, 0u64..200_000).prop_map(|(o, a, b)| TraceEvent::Seek {
+            open_id: OpenId(o),
+            old_pos: a,
+            new_pos: b,
+        }),
+        (0u64..6, 0u32..4).prop_map(|(f, u)| TraceEvent::Unlink {
+            file_id: FileId(f),
+            user_id: UserId(u),
+        }),
+        (0u64..6, 0u64..200_000, 0u32..4).prop_map(|(f, l, u)| TraceEvent::Truncate {
+            file_id: FileId(f),
+            new_len: l,
+            user_id: UserId(u),
+        }),
+        (0u64..6, 0u32..4, 0u64..200_000).prop_map(|(f, u, s)| TraceEvent::Execve {
+            file_id: FileId(f),
+            user_id: UserId(u),
+            size: s,
+        }),
+    ]
+}
+
+fn arb_raw_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..200_000u64, arb_raw_event()), 0..150).prop_map(|pairs| {
+        Trace::from_records(
+            pairs
+                .into_iter()
+                .map(|(t, e)| TraceRecord::new(t, e))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Streaming expand-and-replay (records fed one at a time through
+    /// the expander into the replayer) equals batch expansion followed
+    /// by batch replay, for any trace and cache size.
+    #[test]
+    fn streaming_replay_matches_batch_expansion(
+        trace in arb_raw_trace(),
+        blocks in 1u64..64,
+    ) {
+        let config = cfg(blocks);
+        let batch = Simulator::run_events(&replay_events(&trace, &config), &config);
+        let streamed = Simulator::run(&trace, &config);
+        prop_assert_eq!(streamed, batch);
+    }
+
+    /// The shared-expansion sweep is bit-identical to simulating each
+    /// configuration alone, for any worker count — across expansion
+    /// groups with several cells (same block size, different sizes and
+    /// write policies) and the single-cell streaming path.
+    #[test]
+    fn sweep_source_matches_individual_runs(
+        trace in arb_raw_trace(),
+        jobs in 1usize..5,
+    ) {
+        let mut configs = Vec::new();
+        for block_size in [4096u64, 8192] {
+            for blocks in [4u64, 16] {
+                for policy in [WritePolicy::DelayedWrite, WritePolicy::WriteThrough] {
+                    configs.push(CacheConfig {
+                        cache_bytes: blocks * block_size,
+                        block_size,
+                        write_policy: policy,
+                        ..CacheConfig::default()
+                    });
+                }
+            }
+        }
+        // A lone block size: its expansion group has exactly one cell,
+        // which takes the no-buffering streaming path.
+        configs.push(CacheConfig {
+            cache_bytes: 16 * 16384,
+            block_size: 16384,
+            write_policy: WritePolicy::DelayedWrite,
+            ..CacheConfig::default()
+        });
+        let results = sweep::run_source(|| trace.records().iter(), &configs, jobs);
+        prop_assert_eq!(results.len(), configs.len());
+        for (config, metrics) in &results {
+            prop_assert_eq!(metrics.clone(), Simulator::run(&trace, config));
+        }
     }
 }

@@ -1,0 +1,197 @@
+//! `streambench`: measure the memory and time footprint of the
+//! materialized pipeline against the streaming one.
+//!
+//! ```text
+//! streambench [--mode materialized|streaming] [--hours H] [--seed S] [--json]
+//! ```
+//!
+//! Both modes run the identical workload (the a5 profile), compute
+//! every Section 5 analysis, and replay the records against the default
+//! cache configuration. The **materialized** mode is the classic
+//! three-stage shape — generate the whole trace, then analyze it, then
+//! replay it. The **streaming** mode pipes the generator's records
+//! straight into the analyzers and the cache replayer
+//! ([`workload::generate_into`]), so no stage ever holds the trace.
+//!
+//! Both modes print the same analysis/replay digests (they are
+//! bit-identical by construction); the interesting outputs are
+//! `peak_rss_kb` (VmHWM from `/proc/self/status`) and `wall_ms`. ci.sh
+//! runs the streaming mode under a hard `ulimit -v` as the
+//! bounded-memory regression check.
+
+use std::io;
+use std::time::Instant;
+
+use cachesim::{CacheConfig, CacheMetrics, EventExpander, Replayer, Simulator};
+use fsanalysis::{run_analyzers, AnalysisStream, AnalysisSuite};
+use fstrace::{RecordSink, TraceRecord};
+use workload::{generate, generate_into, MachineProfile, WorkloadConfig};
+
+/// The shared activity windows (600 s / 10 s, as in the paper).
+const WINDOWS: [u64; 2] = [600, 10];
+
+struct BenchResult {
+    records: u64,
+    suite: AnalysisSuite,
+    metrics: CacheMetrics,
+}
+
+/// Generator → analyzers → cache replay, record by record.
+struct PipelineSink {
+    records: u64,
+    analysis: AnalysisStream,
+    expander: EventExpander,
+    replayer: Replayer,
+}
+
+impl RecordSink for PipelineSink {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.records += 1;
+        self.analysis.observe(rec);
+        let replayer = &mut self.replayer;
+        self.expander.feed(rec, &mut |ev| replayer.step(&ev));
+        Ok(())
+    }
+}
+
+fn run_materialized(config: &WorkloadConfig, cache: &CacheConfig) -> BenchResult {
+    let out = generate(config).unwrap_or_else(|e| die(&format!("generate: {e}")));
+    let suite = run_analyzers(out.trace.records(), &WINDOWS);
+    let metrics = Simulator::run(&out.trace, cache);
+    BenchResult {
+        records: out.trace.len() as u64,
+        suite,
+        metrics,
+    }
+}
+
+fn run_streaming(config: &WorkloadConfig, cache: &CacheConfig) -> BenchResult {
+    let mut sink = PipelineSink {
+        records: 0,
+        analysis: AnalysisStream::new(&WINDOWS),
+        expander: EventExpander::new(cache),
+        replayer: Replayer::new(cache),
+    };
+    generate_into(config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+    BenchResult {
+        records: sink.records,
+        suite: sink.analysis.finish(),
+        metrics: sink.replayer.finish(),
+    }
+}
+
+/// Peak resident set size in kbytes (`VmHWM` from `/proc/self/status`),
+/// or 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut mode = "streaming".to_string();
+    let mut hours = 1.0f64;
+    let mut seed = 1985u64;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--mode" => {
+                mode = args.next().unwrap_or_else(|| die("--mode needs a value"));
+                if mode != "materialized" && mode != "streaming" {
+                    die("--mode must be materialized or streaming");
+                }
+            }
+            "--hours" => {
+                hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: streambench [--mode materialized|streaming] [--hours H] [--seed S] [--json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let config = WorkloadConfig {
+        profile: MachineProfile::ucbarpa(),
+        seed,
+        duration_hours: hours,
+        ..WorkloadConfig::default()
+    };
+    let cache = CacheConfig::default();
+    let started = Instant::now();
+    let result = if mode == "materialized" {
+        run_materialized(&config, &cache)
+    } else {
+        run_streaming(&config, &cache)
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let rss = peak_rss_kb();
+    let snap = obs::global().snapshot();
+    let buffered_peak = snap
+        .gauge("fstrace.pipeline.buffered_records_peak")
+        .unwrap_or(0);
+    let live_peak = snap.gauge("workload.live_sessions_peak").unwrap_or(0);
+
+    let mut suite = result.suite;
+    let digest = [
+        ("records", result.records as f64),
+        ("total_bytes", suite.activity.total_bytes as f64),
+        (
+            "whole_file_fraction",
+            suite.sequentiality.whole_file_fraction(),
+        ),
+        ("open_le_10s", suite.open_times.fraction_le_secs(10.0)),
+        ("miss_ratio", result.metrics.miss_ratio()),
+        ("disk_reads", result.metrics.disk_reads as f64),
+        ("disk_writes", result.metrics.disk_writes as f64),
+    ];
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str(&format!("  \"hours\": {hours},\n"));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        for (k, v) in digest {
+            out.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        out.push_str(&format!("  \"buffered_records_peak\": {buffered_peak},\n"));
+        out.push_str(&format!("  \"live_sessions_peak\": {live_peak},\n"));
+        out.push_str(&format!("  \"wall_ms\": {wall_ms:.1},\n"));
+        out.push_str(&format!("  \"peak_rss_kb\": {rss}\n"));
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!("mode: {mode} ({hours} h, seed {seed})");
+        for (k, v) in digest {
+            println!("  {k}: {v}");
+        }
+        println!("  buffered_records_peak: {buffered_peak}");
+        println!("  live_sessions_peak: {live_peak}");
+        println!("  wall_ms: {wall_ms:.1}");
+        println!("  peak_rss_kb: {rss}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("streambench: {msg}");
+    std::process::exit(1);
+}

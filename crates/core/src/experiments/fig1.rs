@@ -20,14 +20,14 @@ pub struct Fig1 {
     pub analyses: Vec<RunLengthAnalysis>,
 }
 
-/// Computes the curves.
+/// Computes the curves from each entry's shared single-pass analysis.
 pub fn run(set: &TraceSet) -> Fig1 {
     Fig1 {
         names: set.entries.iter().map(|e| e.name.clone()).collect(),
         analyses: set
             .entries
             .iter()
-            .map(|e| RunLengthAnalysis::analyze(&e.out.trace.sessions()))
+            .map(|e| e.analysis().run_lengths.clone())
             .collect(),
     }
 }

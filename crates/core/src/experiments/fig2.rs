@@ -21,14 +21,14 @@ pub struct Fig2 {
     pub analyses: Vec<FileSizeAnalysis>,
 }
 
-/// Computes the curves.
+/// Computes the curves from each entry's shared single-pass analysis.
 pub fn run(set: &TraceSet) -> Fig2 {
     Fig2 {
         names: set.entries.iter().map(|e| e.name.clone()).collect(),
         analyses: set
             .entries
             .iter()
-            .map(|e| FileSizeAnalysis::analyze(&e.out.trace.sessions()))
+            .map(|e| e.analysis().sizes.clone())
             .collect(),
     }
 }

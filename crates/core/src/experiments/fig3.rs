@@ -19,14 +19,14 @@ pub struct Fig3 {
     pub analyses: Vec<OpenTimeAnalysis>,
 }
 
-/// Computes the curves.
+/// Computes the curves from each entry's shared single-pass analysis.
 pub fn run(set: &TraceSet) -> Fig3 {
     Fig3 {
         names: set.entries.iter().map(|e| e.name.clone()).collect(),
         analyses: set
             .entries
             .iter()
-            .map(|e| OpenTimeAnalysis::analyze(&e.out.trace.sessions()))
+            .map(|e| e.analysis().open_times.clone())
             .collect(),
     }
 }

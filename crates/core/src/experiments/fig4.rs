@@ -22,12 +22,12 @@ pub struct Fig4 {
     pub spikes: Vec<f64>,
 }
 
-/// Computes the curves.
+/// Computes the curves from each entry's shared single-pass analysis.
 pub fn run(set: &TraceSet) -> Fig4 {
     let mut analyses: Vec<LifetimeAnalysis> = set
         .entries
         .iter()
-        .map(|e| LifetimeAnalysis::analyze(&e.out.trace))
+        .map(|e| e.analysis().lifetimes.clone())
         .collect();
     let spikes = analyses
         .iter_mut()

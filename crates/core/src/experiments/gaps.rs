@@ -17,14 +17,15 @@ pub struct Gaps {
     pub analyses: Vec<EventGapAnalysis>,
 }
 
-/// Computes the gap distributions.
+/// Computes the gap distributions from each entry's shared single-pass
+/// analysis.
 pub fn run(set: &TraceSet) -> Gaps {
     Gaps {
         names: set.entries.iter().map(|e| e.name.clone()).collect(),
         analyses: set
             .entries
             .iter()
-            .map(|e| EventGapAnalysis::analyze(&e.out.trace))
+            .map(|e| e.analysis().gaps.clone())
             .collect(),
     }
 }

@@ -11,7 +11,7 @@
 use std::fmt;
 
 use cachesim::{sweep, CacheConfig, WritePolicy};
-use fstrace::Trace;
+use fstrace::{merged_records, Trace};
 
 use crate::chart::{render, Curve};
 use crate::report::{pct, Table};
@@ -45,20 +45,29 @@ pub struct Server {
 }
 
 /// Merges every generated trace and sweeps the server cache.
+///
+/// The merge streams: [`merged_records`] yields the k-way merged
+/// sequence straight into the sweep, so the combined server trace is
+/// never materialized.
 pub fn run(set: &TraceSet) -> Server {
-    let traces: Vec<Trace> = set.entries.iter().map(|e| e.out.trace.clone()).collect();
-    let merged = Trace::merge(&traces);
-    let users = {
-        let mut ids: Vec<u32> = merged
-            .records()
-            .iter()
-            .filter_map(|r| r.event.user_id())
-            .map(|u| u.0)
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len() as u64
-    };
+    let traces: Vec<&Trace> = set.entries.iter().map(|e| &e.out.trace).collect();
+    let records: usize = traces.iter().map(|t| t.len()).sum();
+    // The merge offsets each client's ids into a disjoint range, so
+    // distinct users across the merged stream sum over the clients.
+    let users: u64 = traces
+        .iter()
+        .map(|t| {
+            let mut ids: Vec<u32> = t
+                .records()
+                .iter()
+                .filter_map(|r| r.event.user_id())
+                .map(|u| u.0)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() as u64
+        })
+        .sum();
     let configs: Vec<CacheConfig> = CACHE_MB
         .iter()
         .flat_map(|&mb| {
@@ -77,7 +86,11 @@ pub fn run(set: &TraceSet) -> Server {
             })
         })
         .collect();
-    let results = sweep::run(&merged, &configs);
+    let results = sweep::run_source(
+        || merged_records(&traces).map(|r| r.expect("in-memory merge cannot fail")),
+        &configs,
+        sweep::default_jobs(),
+    );
     let points = results
         .chunks(2)
         .zip(CACHE_MB)
@@ -89,7 +102,7 @@ pub fn run(set: &TraceSet) -> Server {
         .collect();
     Server {
         clients: traces.len(),
-        records: merged.len(),
+        records,
         users,
         points,
     }

@@ -3,9 +3,6 @@
 use std::fmt;
 
 use cachesim::{replay_events, CacheConfig, Simulator, WritePolicy};
-use fsanalysis::{
-    ActivityAnalysis, FileSizeAnalysis, LifetimeAnalysis, OpenTimeAnalysis, SequentialityReport,
-};
 
 use crate::report::Table;
 use crate::TraceSet;
@@ -37,17 +34,17 @@ pub struct Table1 {
     pub best_block_kb: (u64, u64),
 }
 
-/// Recomputes every Table I line.
+/// Recomputes every Table I line, reusing each entry's shared
+/// single-pass analysis for the Section 5 rows.
 pub fn run(set: &TraceSet) -> Table1 {
     let mut thpt = Vec::new();
     let mut whole_acc = Vec::new();
     let mut whole_bytes = Vec::new();
     for e in &set.entries {
-        let act = ActivityAnalysis::analyze(&e.out.trace, &[600]);
-        thpt.push(act.windows[0].avg_throughput());
-        let seq = SequentialityReport::analyze(&e.out.trace.sessions());
-        whole_acc.push(seq.whole_file_fraction());
-        whole_bytes.push(seq.whole_file_bytes_fraction());
+        let suite = e.analysis();
+        thpt.push(suite.activity.windows[0].avg_throughput());
+        whole_acc.push(suite.sequentiality.whole_file_fraction());
+        whole_bytes.push(suite.sequentiality.whole_file_bytes_fraction());
     }
     let minmax = |v: &[f64]| {
         (
@@ -57,10 +54,10 @@ pub fn run(set: &TraceSet) -> Table1 {
     };
 
     let a5 = &set.a5().out.trace;
-    let sessions = a5.sessions();
-    let mut ot = OpenTimeAnalysis::analyze(&sessions);
-    let mut sizes = FileSizeAnalysis::analyze(&sessions);
-    let mut lt = LifetimeAnalysis::analyze(a5);
+    let a5_suite = set.a5().analysis();
+    let mut ot = a5_suite.open_times.clone();
+    let mut sizes = a5_suite.sizes.clone();
+    let mut lt = a5_suite.lifetimes.clone();
 
     // Cache: 4 MB elimination range across policies.
     let base = CacheConfig {

@@ -17,14 +17,15 @@ pub struct Table4 {
     pub analyses: Vec<ActivityAnalysis>,
 }
 
-/// Computes the table (600 s and 10 s windows, as in the paper).
+/// Computes the table (600 s and 10 s windows, as in the paper), from
+/// each entry's shared single-pass analysis.
 pub fn run(set: &TraceSet) -> Table4 {
     Table4 {
         names: set.entries.iter().map(|e| e.name.clone()).collect(),
         analyses: set
             .entries
             .iter()
-            .map(|e| ActivityAnalysis::analyze(&e.out.trace, &[600, 10]))
+            .map(|e| e.analysis().activity.clone())
             .collect(),
     }
 }

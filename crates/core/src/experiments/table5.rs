@@ -16,14 +16,14 @@ pub struct Table5 {
     pub reports: Vec<SequentialityReport>,
 }
 
-/// Computes the table.
+/// Computes the table from each entry's shared single-pass analysis.
 pub fn run(set: &TraceSet) -> Table5 {
     Table5 {
         names: set.entries.iter().map(|e| e.name.clone()).collect(),
         reports: set
             .entries
             .iter()
-            .map(|e| SequentialityReport::analyze(&e.out.trace.sessions()))
+            .map(|e| e.analysis().sequentiality.clone())
             .collect(),
     }
 }

@@ -1,6 +1,9 @@
 //! Standard trace generation shared by every experiment.
 
+use std::sync::OnceLock;
+
 use bsdfs::FsResult;
+use fsanalysis::{run_analyzers, AnalysisSuite};
 use workload::{generate, GeneratedTrace, MachineProfile, WorkloadConfig};
 
 /// Reproduction parameters: how much simulated time to trace, and the
@@ -31,6 +34,20 @@ pub struct TraceEntry {
     pub machine: String,
     /// The generated trace and file system.
     pub out: GeneratedTrace,
+    analysis: OnceLock<AnalysisSuite>,
+}
+
+impl TraceEntry {
+    /// Activity window lengths shared by every consumer: 600 s for the
+    /// paper's ten-minute intervals, 10 s for bursts.
+    pub const WINDOW_SECS: [u64; 2] = [600, 10];
+
+    /// Every Section 5 analysis of this trace, computed together in one
+    /// streaming pass the first time any experiment asks, then shared.
+    pub fn analysis(&self) -> &AnalysisSuite {
+        self.analysis
+            .get_or_init(|| run_analyzers(self.out.trace.records(), &Self::WINDOW_SECS))
+    }
 }
 
 /// The three traces of the paper, regenerated.
@@ -52,7 +69,12 @@ impl TraceSet {
                 duration_hours: config.hours,
                 ..WorkloadConfig::default()
             })?;
-            entries.push(TraceEntry { name, machine, out });
+            entries.push(TraceEntry {
+                name,
+                machine,
+                out,
+                analysis: OnceLock::new(),
+            });
         }
         Ok(TraceSet { entries })
     }
@@ -70,7 +92,12 @@ impl TraceSet {
             ..WorkloadConfig::default()
         })?;
         Ok(TraceSet {
-            entries: vec![TraceEntry { name, machine, out }],
+            entries: vec![TraceEntry {
+                name,
+                machine,
+                out,
+                analysis: OnceLock::new(),
+            }],
         })
     }
 

@@ -1,8 +1,12 @@
 //! System activity: users, active users, and per-user throughput
 //! (Table IV of the paper).
 
-use fstrace::{Trace, UserId};
+use std::collections::{BTreeSet, HashMap};
+
+use fstrace::{OpenId, Trace, TraceEvent, TraceRecord, UserId};
 use simstat::{OnlineStats, WindowedSums};
+
+use crate::stream::Analyzer;
 
 /// Activity measured over one window length.
 #[derive(Debug, Clone)]
@@ -52,45 +56,128 @@ impl ActivityAnalysis {
     /// A user is *active* in a window if any trace event attributable to
     /// them falls inside it; bytes are billed at the time of the `close`
     /// or `seek` ending each sequential run, per the paper's rule.
+    ///
+    /// A thin wrapper over the streaming [`ActivityBuilder`].
     pub fn analyze(trace: &Trace, window_secs: &[u64]) -> Self {
-        let sessions = trace.sessions();
-        // Collect (time_ms, user, bytes) activity points.
-        let mut points: Vec<(u64, UserId, u64)> = Vec::new();
-        for s in sessions.all() {
-            points.push((s.open_time.as_ms(), s.user_id, 0));
-            for r in &s.runs {
-                points.push((r.billed_at.as_ms(), s.user_id, r.len));
-            }
-            if let Some(c) = s.close_time {
-                points.push((c.as_ms(), s.user_id, 0));
-            }
-        }
+        let mut b = ActivityBuilder::new(window_secs);
         for rec in trace.records() {
-            // Events carrying their own user id (unlink/truncate/execve
-            // and opens — opens already counted above, harmless).
-            if let Some(u) = rec.event.user_id() {
-                if rec.event.open_id().is_none() {
-                    points.push((rec.time.as_ms(), u, 0));
+            b.observe(rec);
+        }
+        b.finish()
+    }
+}
+
+/// Streaming form of [`ActivityAnalysis::analyze`]: feed records in
+/// time order, finish into the analysis.
+///
+/// Activity points — opens, run billings, closes, and user-attributed
+/// events — are folded into per-window sums as each record arrives, so
+/// memory is O(simultaneously open files + touched windows), never
+/// O(records). Run billing mirrors the session reconstruction: a run is
+/// charged at the `seek`/`close` record that ends it.
+pub struct ActivityBuilder {
+    window_secs: Vec<u64>,
+    windows: Vec<WindowedSums>,
+    /// Open id → (user, current position): enough state to bill runs at
+    /// the very record that ends them.
+    pending: HashMap<OpenId, (UserId, u64)>,
+    users: BTreeSet<u32>,
+    total_bytes: u64,
+    first_ms: Option<u64>,
+    last_ms: u64,
+}
+
+impl ActivityBuilder {
+    /// Creates a builder measuring the given window lengths (seconds).
+    pub fn new(window_secs: &[u64]) -> Self {
+        ActivityBuilder {
+            window_secs: window_secs.to_vec(),
+            windows: window_secs
+                .iter()
+                .map(|&secs| WindowedSums::new(secs * 1000))
+                .collect(),
+            pending: HashMap::new(),
+            users: BTreeSet::new(),
+            total_bytes: 0,
+            first_ms: None,
+            last_ms: 0,
+        }
+    }
+
+    /// One activity point: user `u` did something (moving `bytes`) at
+    /// time `t`.
+    fn point(&mut self, t: u64, u: UserId, bytes: u64) {
+        self.total_bytes += bytes;
+        self.users.insert(u.0);
+        for w in &mut self.windows {
+            w.add(t, u.0 as u64, bytes);
+        }
+    }
+}
+
+impl Analyzer for ActivityBuilder {
+    type Output = ActivityAnalysis;
+
+    fn observe(&mut self, rec: &TraceRecord) {
+        let now = rec.time.as_ms();
+        self.first_ms = Some(self.first_ms.map_or(now, |f| f.min(now)));
+        self.last_ms = self.last_ms.max(now);
+        match rec.event {
+            TraceEvent::Open {
+                open_id, user_id, ..
+            } => {
+                self.point(now, user_id, 0);
+                self.pending.insert(open_id, (user_id, 0));
+            }
+            TraceEvent::Seek {
+                open_id,
+                old_pos,
+                new_pos,
+            } => {
+                let mut billed = None;
+                if let Some((u, pos)) = self.pending.get_mut(&open_id) {
+                    if old_pos > *pos {
+                        billed = Some((*u, old_pos - *pos));
+                    }
+                    *pos = new_pos;
+                }
+                if let Some((u, len)) = billed {
+                    self.point(now, u, len);
+                }
+            }
+            TraceEvent::Close { open_id, final_pos } => {
+                if let Some((u, pos)) = self.pending.remove(&open_id) {
+                    if final_pos > pos {
+                        self.point(now, u, final_pos - pos);
+                    }
+                    self.point(now, u, 0);
+                }
+            }
+            _ => {
+                // Events carrying their own user id: unlink, truncate,
+                // execve.
+                if let Some(u) = rec.event.user_id() {
+                    if rec.event.open_id().is_none() {
+                        self.point(now, u, 0);
+                    }
                 }
             }
         }
-        let total_bytes: u64 = points.iter().map(|&(_, _, b)| b).sum();
-        let mut users: Vec<u32> = points.iter().map(|&(_, u, _)| u.0).collect();
-        users.sort_unstable();
-        users.dedup();
-        let duration_secs = trace.duration_ms() as f64 / 1000.0;
+    }
+
+    fn finish(self) -> ActivityAnalysis {
+        let duration_ms = self.last_ms.saturating_sub(self.first_ms.unwrap_or(0));
+        let duration_secs = duration_ms as f64 / 1000.0;
         let avg_throughput = if duration_secs > 0.0 {
-            total_bytes as f64 / duration_secs
+            self.total_bytes as f64 / duration_secs
         } else {
             0.0
         };
-        let windows = window_secs
+        let windows = self
+            .window_secs
             .iter()
-            .map(|&secs| {
-                let mut w = WindowedSums::new(secs * 1000);
-                for &(t, u, b) in &points {
-                    w.add(t, u.0 as u64, b);
-                }
+            .zip(&self.windows)
+            .map(|(&secs, w)| {
                 let stats = w.stats();
                 let mut throughput_per_active = OnlineStats::new();
                 // Rescale byte sums to bytes/second by re-deriving from
@@ -110,8 +197,8 @@ impl ActivityAnalysis {
             .collect();
         ActivityAnalysis {
             avg_throughput,
-            total_users: users.len() as u64,
-            total_bytes,
+            total_users: self.users.len() as u64,
+            total_bytes: self.total_bytes,
             duration_secs,
             windows,
         }

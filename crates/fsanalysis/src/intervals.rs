@@ -7,8 +7,10 @@
 
 use std::collections::HashMap;
 
-use fstrace::{OpenId, Trace, TraceEvent};
+use fstrace::{OpenId, Trace, TraceEvent, TraceRecord};
 use simstat::Distribution;
+
+use crate::stream::Analyzer;
 
 /// Distribution of gaps between successive events for one open file.
 #[derive(Debug, Clone, Default)]
@@ -19,34 +21,56 @@ pub struct EventGapAnalysis {
 
 impl EventGapAnalysis {
     /// Measures all open→seek→…→close gaps in a trace.
+    ///
+    /// A thin wrapper over the streaming [`EventGapBuilder`].
     pub fn analyze(trace: &Trace) -> Self {
-        let mut last: HashMap<OpenId, u64> = HashMap::new();
-        let mut a = EventGapAnalysis::default();
+        let mut b = EventGapBuilder::default();
         for rec in trace.records() {
-            let now = rec.time.as_ms();
-            match rec.event {
-                TraceEvent::Open { open_id, .. } => {
-                    last.insert(open_id, now);
-                }
-                TraceEvent::Seek { open_id, .. } => {
-                    if let Some(prev) = last.insert(open_id, now) {
-                        a.gaps_ms.add(now.saturating_sub(prev), 1);
-                    }
-                }
-                TraceEvent::Close { open_id, .. } => {
-                    if let Some(prev) = last.remove(&open_id) {
-                        a.gaps_ms.add(now.saturating_sub(prev), 1);
-                    }
-                }
-                _ => {}
-            }
+            b.observe(rec);
         }
-        a
+        b.finish()
     }
 
     /// Fraction of gaps at most `secs` seconds.
     pub fn fraction_le_secs(&mut self, secs: f64) -> f64 {
         self.gaps_ms.fraction_le((secs * 1000.0) as u64)
+    }
+}
+
+/// Streaming form of [`EventGapAnalysis::analyze`]: each gap is
+/// recorded at the later of its two events. Memory is O(open files).
+#[derive(Debug, Clone, Default)]
+pub struct EventGapBuilder {
+    last: HashMap<OpenId, u64>,
+    out: EventGapAnalysis,
+}
+
+impl Analyzer for EventGapBuilder {
+    type Output = EventGapAnalysis;
+
+    fn observe(&mut self, rec: &TraceRecord) {
+        let now = rec.time.as_ms();
+        match rec.event {
+            TraceEvent::Open { open_id, .. } => {
+                self.last.insert(open_id, now);
+            }
+            TraceEvent::Seek { open_id, .. } => {
+                if let Some(prev) = self.last.insert(open_id, now) {
+                    self.out.gaps_ms.add(now.saturating_sub(prev), 1);
+                }
+            }
+            TraceEvent::Close { open_id, .. } => {
+                if let Some(prev) = self.last.remove(&open_id) {
+                    self.out.gaps_ms.add(now.saturating_sub(prev), 1);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(mut self) -> EventGapAnalysis {
+        self.out.gaps_ms.prepare();
+        self.out
     }
 }
 

@@ -18,6 +18,10 @@
 //! Transfers are billed at the next `close` or `seek` for the file,
 //! exactly as the paper does; the reconstruction itself lives in
 //! [`fstrace::session`].
+//!
+//! Every analysis is implemented as a streaming [`stream::Analyzer`];
+//! the batch `analyze(...)` entry points are thin wrappers, and
+//! [`run_analyzers`] computes all of them in one bounded-memory pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,12 +32,16 @@ pub mod lifetime;
 pub mod opentime;
 pub mod sequential;
 pub mod sizes;
+pub mod stream;
 pub mod users;
 
-pub use activity::{ActivityAnalysis, ActivityWindow};
-pub use intervals::EventGapAnalysis;
-pub use lifetime::{LifetimeAnalysis, LifetimeEvent};
-pub use opentime::OpenTimeAnalysis;
-pub use sequential::{RunLengthAnalysis, SequentialityReport};
-pub use sizes::FileSizeAnalysis;
-pub use users::{UserActivity, UserAnalysis};
+pub use activity::{ActivityAnalysis, ActivityBuilder, ActivityWindow};
+pub use intervals::{EventGapAnalysis, EventGapBuilder};
+pub use lifetime::{LifetimeAnalysis, LifetimeBuilder, LifetimeEvent};
+pub use opentime::{OpenTimeAnalysis, OpenTimeBuilder};
+pub use sequential::{
+    RunLengthAnalysis, RunLengthBuilder, SequentialityBuilder, SequentialityReport,
+};
+pub use sizes::{FileSizeAnalysis, FileSizeBuilder};
+pub use stream::{run_analyzers, AnalysisStream, AnalysisSuite, Analyzer};
+pub use users::{UserActivity, UserAnalysis, UserAnalysisBuilder};

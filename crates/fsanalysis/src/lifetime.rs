@@ -9,8 +9,10 @@
 
 use std::collections::HashMap;
 
-use fstrace::{FileId, Trace, TraceEvent};
+use fstrace::{FileId, OpenSession, SessionBuilder, Trace, TraceEvent, TraceRecord};
 use simstat::Distribution;
+
+use crate::stream::Analyzer;
 
 /// Why a file's data died.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,70 +67,20 @@ struct Birth {
 
 impl LifetimeAnalysis {
     /// Scans a trace for creations and deaths.
+    ///
+    /// A thin wrapper over the streaming [`LifetimeBuilder`], driving
+    /// its own session reconstruction so write bytes are billed to the
+    /// live file at each `close`.
     pub fn analyze(trace: &Trace) -> Self {
-        // Bytes written per session, billed at close, keyed by open id.
-        let sessions = trace.sessions();
-        let mut session_bytes: HashMap<fstrace::OpenId, (FileId, u64)> = HashMap::new();
-        for s in sessions.complete() {
-            if s.mode.can_write() {
-                session_bytes.insert(s.open_id, (s.file_id, s.bytes_transferred()));
-            }
-        }
-        let mut alive: HashMap<FileId, Birth> = HashMap::new();
-        let mut out = LifetimeAnalysis::default();
+        let mut sessions = SessionBuilder::new();
+        let mut b = LifetimeBuilder::default();
         for rec in trace.records() {
-            let now = rec.time.as_ms();
-            match rec.event {
-                TraceEvent::Open {
-                    file_id,
-                    created: true,
-                    ..
-                } => {
-                    if let Some(b) = alive.remove(&file_id) {
-                        out.finish(file_id, b, now, DeathCause::Overwritten);
-                    }
-                    alive.insert(
-                        file_id,
-                        Birth {
-                            born_ms: now,
-                            bytes: 0,
-                        },
-                    );
-                }
-                TraceEvent::Close { open_id, .. } => {
-                    if let Some(&(fid, bytes)) = session_bytes.get(&open_id) {
-                        if let Some(b) = alive.get_mut(&fid) {
-                            b.bytes += bytes;
-                        }
-                    }
-                }
-                TraceEvent::Unlink { file_id, .. } => {
-                    if let Some(b) = alive.remove(&file_id) {
-                        out.finish(file_id, b, now, DeathCause::Deleted);
-                    }
-                }
-                TraceEvent::Truncate {
-                    file_id,
-                    new_len: 0,
-                    ..
-                } => {
-                    if let Some(b) = alive.remove(&file_id) {
-                        out.finish(file_id, b, now, DeathCause::Overwritten);
-                        // Truncation to zero is itself a (re)creation.
-                        alive.insert(
-                            file_id,
-                            Birth {
-                                born_ms: now,
-                                bytes: 0,
-                            },
-                        );
-                    }
-                }
-                _ => {}
+            b.observe(rec);
+            if let Some(s) = sessions.observe(rec) {
+                b.on_session(&s);
             }
         }
-        out.censored = alive.len() as u64;
-        out
+        b.finish()
     }
 
     fn finish(&mut self, file_id: FileId, b: Birth, died_ms: u64, cause: DeathCause) {
@@ -159,6 +111,82 @@ impl LifetimeAnalysis {
     pub fn fraction_of_files_between_secs(&mut self, lo: f64, hi: f64) -> f64 {
         self.by_files.fraction_le((hi * 1000.0) as u64)
             - self.by_files.fraction_lt((lo * 1000.0) as u64)
+    }
+}
+
+/// Streaming form of [`LifetimeAnalysis::analyze`]: births and deaths
+/// come from the record stream, and write bytes from each session the
+/// moment it closes.
+///
+/// Memory is O(new files currently alive), never O(records).
+#[derive(Default)]
+pub struct LifetimeBuilder {
+    alive: HashMap<FileId, Birth>,
+    out: LifetimeAnalysis,
+}
+
+impl Analyzer for LifetimeBuilder {
+    type Output = LifetimeAnalysis;
+
+    fn observe(&mut self, rec: &TraceRecord) {
+        let now = rec.time.as_ms();
+        match rec.event {
+            TraceEvent::Open {
+                file_id,
+                created: true,
+                ..
+            } => {
+                if let Some(b) = self.alive.remove(&file_id) {
+                    self.out.finish(file_id, b, now, DeathCause::Overwritten);
+                }
+                self.alive.insert(
+                    file_id,
+                    Birth {
+                        born_ms: now,
+                        bytes: 0,
+                    },
+                );
+            }
+            TraceEvent::Unlink { file_id, .. } => {
+                if let Some(b) = self.alive.remove(&file_id) {
+                    self.out.finish(file_id, b, now, DeathCause::Deleted);
+                }
+            }
+            TraceEvent::Truncate {
+                file_id,
+                new_len: 0,
+                ..
+            } => {
+                if let Some(b) = self.alive.remove(&file_id) {
+                    self.out.finish(file_id, b, now, DeathCause::Overwritten);
+                    // Truncation to zero is itself a (re)creation.
+                    self.alive.insert(
+                        file_id,
+                        Birth {
+                            born_ms: now,
+                            bytes: 0,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_session(&mut self, s: &OpenSession) {
+        // Bytes written per session, billed at close.
+        if s.mode.can_write() {
+            if let Some(b) = self.alive.get_mut(&s.file_id) {
+                b.bytes += s.bytes_transferred();
+            }
+        }
+    }
+
+    fn finish(mut self) -> LifetimeAnalysis {
+        self.out.censored = self.alive.len() as u64;
+        self.out.by_files.prepare();
+        self.out.by_bytes.prepare();
+        self.out
     }
 }
 

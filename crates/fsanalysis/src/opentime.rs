@@ -1,7 +1,9 @@
 //! Distribution of how long files stay open (Figure 3).
 
-use fstrace::SessionSet;
+use fstrace::{OpenSession, SessionSet};
 use simstat::Distribution;
+
+use crate::stream::Analyzer;
 
 /// Figure 3: distribution of open durations in milliseconds.
 ///
@@ -15,14 +17,14 @@ pub struct OpenTimeAnalysis {
 
 impl OpenTimeAnalysis {
     /// Collects the open duration of every completed session.
+    ///
+    /// A thin wrapper over the streaming [`OpenTimeBuilder`].
     pub fn analyze(sessions: &SessionSet) -> Self {
-        let mut a = OpenTimeAnalysis::default();
+        let mut b = OpenTimeBuilder::default();
         for s in sessions.complete() {
-            if let Some(d) = s.open_duration_ms() {
-                a.durations_ms.add(d, 1);
-            }
+            b.on_session(s);
         }
-        a
+        b.finish()
     }
 
     /// Fraction of accesses with the file open at most `secs` seconds.
@@ -33,6 +35,28 @@ impl OpenTimeAnalysis {
     /// Median open time in milliseconds.
     pub fn median_ms(&mut self) -> Option<u64> {
         self.durations_ms.percentile(0.5)
+    }
+}
+
+/// Streaming form of [`OpenTimeAnalysis::analyze`]: durations are
+/// recorded as each session closes.
+#[derive(Debug, Clone, Default)]
+pub struct OpenTimeBuilder {
+    out: OpenTimeAnalysis,
+}
+
+impl Analyzer for OpenTimeBuilder {
+    type Output = OpenTimeAnalysis;
+
+    fn on_session(&mut self, s: &OpenSession) {
+        if let Some(d) = s.open_duration_ms() {
+            self.out.durations_ms.add(d, 1);
+        }
+    }
+
+    fn finish(mut self) -> OpenTimeAnalysis {
+        self.out.durations_ms.prepare();
+        self.out
     }
 }
 

@@ -1,8 +1,10 @@
 //! Sequentiality of file access (Table V) and sequential run lengths
 //! (Figure 1).
 
-use fstrace::{AccessMode, SessionSet};
+use fstrace::{AccessMode, OpenSession, SessionSet};
 use simstat::Distribution;
+
+use crate::stream::Analyzer;
 
 /// Counts for one access-mode class in Table V.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,27 +56,14 @@ pub struct SequentialityReport {
 
 impl SequentialityReport {
     /// Computes the report over all completed sessions.
+    ///
+    /// A thin wrapper over the streaming [`SequentialityBuilder`].
     pub fn analyze(sessions: &SessionSet) -> Self {
-        let mut r = SequentialityReport::default();
+        let mut b = SequentialityBuilder::default();
         for s in sessions.complete() {
-            let c = match s.mode {
-                AccessMode::ReadOnly => &mut r.read_only,
-                AccessMode::WriteOnly => &mut r.write_only,
-                AccessMode::ReadWrite => &mut r.read_write,
-            };
-            let bytes = s.bytes_transferred();
-            c.accesses += 1;
-            c.bytes += bytes;
-            if s.is_whole_file_transfer() {
-                c.whole_file += 1;
-                c.bytes_whole_file += bytes;
-            }
-            if s.is_sequential() {
-                c.sequential += 1;
-                c.bytes_sequential += bytes;
-            }
+            b.on_session(s);
         }
-        r
+        b.finish()
     }
 
     /// Total completed accesses.
@@ -120,6 +109,40 @@ impl SequentialityReport {
     }
 }
 
+/// Streaming form of [`SequentialityReport::analyze`]: classifies each
+/// completed session as it closes.
+#[derive(Debug, Clone, Default)]
+pub struct SequentialityBuilder {
+    report: SequentialityReport,
+}
+
+impl Analyzer for SequentialityBuilder {
+    type Output = SequentialityReport;
+
+    fn on_session(&mut self, s: &OpenSession) {
+        let c = match s.mode {
+            AccessMode::ReadOnly => &mut self.report.read_only,
+            AccessMode::WriteOnly => &mut self.report.write_only,
+            AccessMode::ReadWrite => &mut self.report.read_write,
+        };
+        let bytes = s.bytes_transferred();
+        c.accesses += 1;
+        c.bytes += bytes;
+        if s.is_whole_file_transfer() {
+            c.whole_file += 1;
+            c.bytes_whole_file += bytes;
+        }
+        if s.is_sequential() {
+            c.sequential += 1;
+            c.bytes_sequential += bytes;
+        }
+    }
+
+    fn finish(self) -> SequentialityReport {
+        self.report
+    }
+}
+
 /// Figure 1: the distribution of sequential run lengths, weighted by
 /// runs (1a) and by bytes (1b).
 #[derive(Debug, Clone, Default)]
@@ -131,16 +154,16 @@ pub struct RunLengthAnalysis {
 }
 
 impl RunLengthAnalysis {
-    /// Collects every positive-length sequential run.
+    /// Collects every positive-length sequential run, in closed and
+    /// unclosed sessions alike.
+    ///
+    /// A thin wrapper over the streaming [`RunLengthBuilder`].
     pub fn analyze(sessions: &SessionSet) -> Self {
-        let mut a = RunLengthAnalysis::default();
+        let mut b = RunLengthBuilder::default();
         for s in sessions.all() {
-            for r in &s.runs {
-                a.by_runs.add(r.len, 1);
-                a.by_bytes.add(r.len, r.len);
-            }
+            b.on_session(s);
         }
-        a
+        b.finish()
     }
 
     /// Fraction of runs at most `limit` bytes long.
@@ -151,6 +174,41 @@ impl RunLengthAnalysis {
     /// Fraction of bytes moved in runs at most `limit` bytes long.
     pub fn fraction_of_bytes_le(&mut self, limit: u64) -> f64 {
         self.by_bytes.fraction_le(limit)
+    }
+}
+
+/// Streaming form of [`RunLengthAnalysis::analyze`]: runs are folded in
+/// from each session at close (or at end of stream for never-closed
+/// sessions).
+#[derive(Debug, Clone, Default)]
+pub struct RunLengthBuilder {
+    out: RunLengthAnalysis,
+}
+
+impl RunLengthBuilder {
+    fn add_runs(&mut self, s: &OpenSession) {
+        for r in &s.runs {
+            self.out.by_runs.add(r.len, 1);
+            self.out.by_bytes.add(r.len, r.len);
+        }
+    }
+}
+
+impl Analyzer for RunLengthBuilder {
+    type Output = RunLengthAnalysis;
+
+    fn on_session(&mut self, s: &OpenSession) {
+        self.add_runs(s);
+    }
+
+    fn on_unclosed(&mut self, s: &OpenSession) {
+        self.add_runs(s);
+    }
+
+    fn finish(mut self) -> RunLengthAnalysis {
+        self.out.by_runs.prepare();
+        self.out.by_bytes.prepare();
+        self.out
     }
 }
 

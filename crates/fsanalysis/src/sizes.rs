@@ -1,7 +1,9 @@
 //! Dynamic file-size distribution, measured at close (Figure 2).
 
-use fstrace::SessionSet;
+use fstrace::{OpenSession, SessionSet};
 use simstat::Distribution;
+
+use crate::stream::Analyzer;
 
 /// Figure 2: distribution of file sizes at close, weighted by accesses
 /// (2a) and by bytes transferred (2b).
@@ -18,14 +20,14 @@ pub struct FileSizeAnalysis {
 
 impl FileSizeAnalysis {
     /// Collects the size at close of every completed session.
+    ///
+    /// A thin wrapper over the streaming [`FileSizeBuilder`].
     pub fn analyze(sessions: &SessionSet) -> Self {
-        let mut a = FileSizeAnalysis::default();
+        let mut b = FileSizeBuilder::default();
         for s in sessions.complete() {
-            let size = s.size_at_close();
-            a.by_files.add(size, 1);
-            a.by_bytes.add(size, s.bytes_transferred());
+            b.on_session(s);
         }
-        a
+        b.finish()
     }
 
     /// Fraction of accesses to files of at most `limit` bytes (the
@@ -38,6 +40,29 @@ impl FileSizeAnalysis {
     /// (the paper: only ~30% of bytes go to files under 10 kbytes).
     pub fn fraction_of_bytes_le(&mut self, limit: u64) -> f64 {
         self.by_bytes.fraction_le(limit)
+    }
+}
+
+/// Streaming form of [`FileSizeAnalysis::analyze`]: sizes are measured
+/// as each session closes.
+#[derive(Debug, Clone, Default)]
+pub struct FileSizeBuilder {
+    out: FileSizeAnalysis,
+}
+
+impl Analyzer for FileSizeBuilder {
+    type Output = FileSizeAnalysis;
+
+    fn on_session(&mut self, s: &OpenSession) {
+        let size = s.size_at_close();
+        self.out.by_files.add(size, 1);
+        self.out.by_bytes.add(size, s.bytes_transferred());
+    }
+
+    fn finish(mut self) -> FileSizeAnalysis {
+        self.out.by_files.prepare();
+        self.out.by_bytes.prepare();
+        self.out
     }
 }
 

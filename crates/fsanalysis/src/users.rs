@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
-use fstrace::{Trace, UserId};
+use fstrace::{OpenSession, Trace, UserId};
+
+use crate::stream::Analyzer;
 
 /// Activity attributed to one user.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,48 +46,19 @@ pub struct UserAnalysis {
 
 impl UserAnalysis {
     /// Attributes transfers (billed at close/seek) to users.
+    ///
+    /// A thin wrapper over the streaming [`UserAnalysisBuilder`].
     pub fn analyze(trace: &Trace) -> Self {
-        const WINDOW_MS: u64 = 10_000;
         let sessions = trace.sessions();
-        let mut bytes: HashMap<UserId, u64> = HashMap::new();
-        let mut nsessions: HashMap<UserId, u64> = HashMap::new();
-        let mut windows: HashMap<(UserId, u64), u64> = HashMap::new();
+        let mut b = UserAnalysisBuilder::default();
         for s in sessions.all() {
             if s.close_time.is_some() {
-                *nsessions.entry(s.user_id).or_insert(0) += 1;
-            }
-            for r in &s.runs {
-                *bytes.entry(s.user_id).or_insert(0) += r.len;
-                *windows
-                    .entry((s.user_id, r.billed_at.as_ms() / WINDOW_MS))
-                    .or_insert(0) += r.len;
+                b.on_session(s);
+            } else {
+                b.on_unclosed(s);
             }
         }
-        let mut users: Vec<UserActivity> = bytes
-            .iter()
-            .map(|(&user, &total)| {
-                let per_window: Vec<u64> = windows
-                    .iter()
-                    .filter(|(&(u, _), _)| u == user)
-                    .map(|(_, &b)| b)
-                    .collect();
-                let peak = per_window.iter().copied().max().unwrap_or(0);
-                let mean = if per_window.is_empty() {
-                    0.0
-                } else {
-                    per_window.iter().sum::<u64>() as f64 / per_window.len() as f64
-                };
-                UserActivity {
-                    user,
-                    bytes: total,
-                    sessions: nsessions.get(&user).copied().unwrap_or(0),
-                    peak_10s_bytes: peak,
-                    mean_active_10s_bytes: mean,
-                }
-            })
-            .collect();
-        users.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.user.0.cmp(&b.user.0)));
-        UserAnalysis { users }
+        b.finish()
     }
 
     /// The `n` heaviest users by bytes.
@@ -101,6 +74,73 @@ impl UserAnalysis {
         }
         let top: u64 = self.top(n).iter().map(|u| u.bytes).sum();
         top as f64 / total as f64
+    }
+}
+
+/// Streaming form of [`UserAnalysis::analyze`]: per-user totals and
+/// 10-second windows accumulate as sessions arrive. Memory is O(users ×
+/// active windows), never O(records).
+#[derive(Debug, Clone, Default)]
+pub struct UserAnalysisBuilder {
+    bytes: HashMap<UserId, u64>,
+    nsessions: HashMap<UserId, u64>,
+    windows: HashMap<(UserId, u64), u64>,
+}
+
+impl UserAnalysisBuilder {
+    const WINDOW_MS: u64 = 10_000;
+
+    fn add_runs(&mut self, s: &OpenSession) {
+        for r in &s.runs {
+            *self.bytes.entry(s.user_id).or_insert(0) += r.len;
+            *self
+                .windows
+                .entry((s.user_id, r.billed_at.as_ms() / Self::WINDOW_MS))
+                .or_insert(0) += r.len;
+        }
+    }
+}
+
+impl Analyzer for UserAnalysisBuilder {
+    type Output = UserAnalysis;
+
+    fn on_session(&mut self, s: &OpenSession) {
+        *self.nsessions.entry(s.user_id).or_insert(0) += 1;
+        self.add_runs(s);
+    }
+
+    fn on_unclosed(&mut self, s: &OpenSession) {
+        self.add_runs(s);
+    }
+
+    fn finish(self) -> UserAnalysis {
+        let mut users: Vec<UserActivity> = self
+            .bytes
+            .iter()
+            .map(|(&user, &total)| {
+                let per_window: Vec<u64> = self
+                    .windows
+                    .iter()
+                    .filter(|(&(u, _), _)| u == user)
+                    .map(|(_, &b)| b)
+                    .collect();
+                let peak = per_window.iter().copied().max().unwrap_or(0);
+                let mean = if per_window.is_empty() {
+                    0.0
+                } else {
+                    per_window.iter().sum::<u64>() as f64 / per_window.len() as f64
+                };
+                UserActivity {
+                    user,
+                    bytes: total,
+                    sessions: self.nsessions.get(&user).copied().unwrap_or(0),
+                    peak_10s_bytes: peak,
+                    mean_active_10s_bytes: mean,
+                }
+            })
+            .collect();
+        users.sort_by(|a, b| b.bytes.cmp(&a.bytes).then(a.user.0.cmp(&b.user.0)));
+        UserAnalysis { users }
     }
 }
 

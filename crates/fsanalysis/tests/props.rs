@@ -2,10 +2,10 @@
 //! on randomly generated (but well-formed) traces.
 
 use fsanalysis::{
-    ActivityAnalysis, FileSizeAnalysis, LifetimeAnalysis, RunLengthAnalysis, SequentialityReport,
-    UserAnalysis,
+    run_analyzers, ActivityAnalysis, EventGapAnalysis, FileSizeAnalysis, LifetimeAnalysis,
+    OpenTimeAnalysis, RunLengthAnalysis, SequentialityReport, UserAnalysis,
 };
-use fstrace::{AccessMode, Trace, TraceBuilder};
+use fstrace::{AccessMode, FileId, OpenId, Trace, TraceBuilder, TraceEvent, TraceRecord, UserId};
 use proptest::prelude::*;
 
 /// One randomly shaped session: (user, open size, seek targets with
@@ -80,8 +80,128 @@ fn build(specs: &[SessionSpec]) -> (Trace, Vec<Vec<u64>>) {
     (b.finish(), expected_runs)
 }
 
+fn arb_mode() -> impl Strategy<Value = AccessMode> {
+    prop_oneof![
+        Just(AccessMode::ReadOnly),
+        Just(AccessMode::WriteOnly),
+        Just(AccessMode::ReadWrite),
+    ]
+}
+
+/// A raw event with deliberately small id ranges, so opens and closes
+/// pair up often — and collide often, producing every anomaly the
+/// session builder knows (orphan closes, duplicate opens, unclosed
+/// sessions, seeks on dead handles).
+fn arb_raw_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (
+            0u64..12,
+            0u64..8,
+            0u32..5,
+            arb_mode(),
+            0u64..100_000,
+            any::<bool>()
+        )
+            .prop_map(|(o, f, u, mode, size, created)| TraceEvent::Open {
+                open_id: OpenId(o),
+                file_id: FileId(f),
+                user_id: UserId(u),
+                mode,
+                size,
+                created,
+            }),
+        (0u64..12, 0u64..100_000).prop_map(|(o, p)| TraceEvent::Close {
+            open_id: OpenId(o),
+            final_pos: p,
+        }),
+        (0u64..12, 0u64..100_000, 0u64..100_000).prop_map(|(o, a, b)| TraceEvent::Seek {
+            open_id: OpenId(o),
+            old_pos: a,
+            new_pos: b,
+        }),
+        (0u64..8, 0u32..5).prop_map(|(f, u)| TraceEvent::Unlink {
+            file_id: FileId(f),
+            user_id: UserId(u),
+        }),
+        (0u64..8, 0u64..100_000, 0u32..5).prop_map(|(f, l, u)| TraceEvent::Truncate {
+            file_id: FileId(f),
+            new_len: l,
+            user_id: UserId(u),
+        }),
+        (0u64..8, 0u32..5, 0u64..100_000).prop_map(|(f, u, s)| TraceEvent::Execve {
+            file_id: FileId(f),
+            user_id: UserId(u),
+            size: s,
+        }),
+    ]
+}
+
+fn arb_raw_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..600_000u64, arb_raw_event()), 0..150).prop_map(|pairs| {
+        Trace::from_records(
+            pairs
+                .into_iter()
+                .map(|(t, e)| TraceRecord::new(t, e))
+                .collect(),
+        )
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The one-pass streaming suite agrees with every standalone
+    /// analyzer on arbitrary traces — including anomalous ones, where
+    /// both sides must drop the same malformed sessions.
+    #[test]
+    fn streaming_suite_matches_wrappers(trace in arb_raw_trace()) {
+        let windows = [600, 10];
+        let suite = run_analyzers(trace.records(), &windows);
+        let sessions = trace.sessions();
+
+        let activity = ActivityAnalysis::analyze(&trace, &windows);
+        prop_assert_eq!(suite.activity.total_bytes, activity.total_bytes);
+        prop_assert_eq!(suite.activity.total_users, activity.total_users);
+        prop_assert_eq!(suite.activity.duration_secs, activity.duration_secs);
+
+        let seq = SequentialityReport::analyze(&sessions);
+        prop_assert_eq!(suite.sequentiality.total_accesses(), seq.total_accesses());
+        prop_assert_eq!(suite.sequentiality.total_bytes(), seq.total_bytes());
+
+        let mut runs = RunLengthAnalysis::analyze(&sessions);
+        let mut suite_runs = suite.run_lengths.clone();
+        prop_assert_eq!(suite_runs.by_runs.total_weight(), runs.by_runs.total_weight());
+        prop_assert_eq!(suite_runs.by_bytes.total_weight(), runs.by_bytes.total_weight());
+        prop_assert_eq!(suite_runs.fraction_of_runs_le(4096), runs.fraction_of_runs_le(4096));
+
+        let mut sizes = FileSizeAnalysis::analyze(&sessions);
+        let mut suite_sizes = suite.sizes.clone();
+        prop_assert_eq!(suite_sizes.by_files.total_weight(), sizes.by_files.total_weight());
+        prop_assert_eq!(
+            suite_sizes.fraction_of_accesses_le(10 * 1024),
+            sizes.fraction_of_accesses_le(10 * 1024)
+        );
+
+        let mut open_times = OpenTimeAnalysis::analyze(&sessions);
+        let mut suite_open = suite.open_times.clone();
+        prop_assert_eq!(suite_open.median_ms(), open_times.median_ms());
+        prop_assert_eq!(
+            suite_open.fraction_le_secs(10.0),
+            open_times.fraction_le_secs(10.0)
+        );
+
+        let lifetimes = LifetimeAnalysis::analyze(&trace);
+        prop_assert_eq!(suite.lifetimes.events.clone(), lifetimes.events);
+        prop_assert_eq!(suite.lifetimes.censored, lifetimes.censored);
+
+        let mut gaps = EventGapAnalysis::analyze(&trace);
+        let mut suite_gaps = suite.gaps.clone();
+        prop_assert_eq!(suite_gaps.gaps_ms.total_weight(), gaps.gaps_ms.total_weight());
+        prop_assert_eq!(suite_gaps.fraction_le_secs(0.5), gaps.fraction_le_secs(0.5));
+
+        let users = UserAnalysis::analyze(&trace);
+        prop_assert_eq!(suite.users.users.clone(), users.users);
+    }
 
     /// Run lengths match the generator's bookkeeping exactly.
     #[test]

@@ -8,13 +8,76 @@
 //! ```
 //!
 //! Binary traces are detected by the `FSTR` magic; anything else is
-//! parsed as text.
+//! parsed as text. `dump` and `pack` stream record by record, so they
+//! convert traces of any length in bounded memory; `summary` and
+//! `sessions` load the whole trace.
 
 use std::fs;
-use std::io::Write;
+use std::io::{BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::process::exit;
 
-use fstrace::Trace;
+use fstrace::{codec, RecordSink, TextSink, Trace, TraceReader, TraceRecord, TraceWriter};
+
+/// Opens `path` and reports whether it starts with the binary magic,
+/// with the read position rewound to the start.
+fn open_sniffed(path: &str) -> (BufReader<fs::File>, bool) {
+    let f = fs::File::open(path).unwrap_or_else(|e| die(&format!("open {path}: {e}")));
+    let mut r = BufReader::new(f);
+    let mut magic = [0u8; 4];
+    let n = r
+        .read(&mut magic)
+        .unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    r.seek(SeekFrom::Start(0))
+        .unwrap_or_else(|e| die(&format!("seek {path}: {e}")));
+    (r, n == 4 && &magic == b"FSTR")
+}
+
+/// Streams every record of `path` (either format) into `sink`,
+/// returning the record count. Stops quietly when the sink fails —
+/// a closed pipe (`| head`) is a normal way to stop reading.
+///
+/// With `require_order`, time regressions abort: the binary delta
+/// encoding cannot represent them, and clamping would silently alter
+/// the trace.
+fn stream_records(path: &str, sink: &mut dyn RecordSink, require_order: bool) -> u64 {
+    let (reader, binary) = open_sniffed(path);
+    let mut n = 0u64;
+    let mut last = fstrace::Timestamp::from_ms(0);
+    let mut feed = |rec: TraceRecord| -> bool {
+        if require_order && rec.time < last {
+            die(&format!(
+                "{path}: record {} goes back in time; sort the trace first",
+                n + 1
+            ));
+        }
+        last = last.max(rec.time);
+        n += 1;
+        sink.write_record(&rec).is_ok()
+    };
+    if binary {
+        let records =
+            TraceReader::new(reader).unwrap_or_else(|e| die(&format!("decode {path}: {e}")));
+        for rec in records {
+            let rec = rec.unwrap_or_else(|e| die(&format!("decode {path}: {e}")));
+            if !feed(rec) {
+                break;
+            }
+        }
+    } else {
+        for line in reader.lines() {
+            let line = line.unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let rec = codec::from_text(line).unwrap_or_else(|e| die(&format!("parse {path}: {e}")));
+            if !feed(rec) {
+                break;
+            }
+        }
+    }
+    n
+}
 
 fn load(path: &str) -> Trace {
     let bytes = fs::read(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
@@ -30,22 +93,25 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [cmd, file] if cmd == "dump" => {
-            let trace = load(file);
             let stdout = std::io::stdout();
-            // A closed pipe (`| head`) is a normal way to stop reading.
-            let _ = trace.write_text(stdout.lock());
+            let mut sink = TextSink::new(BufWriter::new(stdout.lock()));
+            stream_records(file, &mut sink, false);
+            let _ = sink.into_inner().flush();
         }
         [cmd, file, out] if cmd == "pack" => {
-            let trace = load(file);
-            let bytes = trace.to_binary();
-            fs::File::create(out)
-                .and_then(|mut f| f.write_all(&bytes))
+            let f = fs::File::create(out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
+            let mut sink = TraceWriter::new(BufWriter::new(f))
+                .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+            let records = stream_records(file, &mut sink, true);
+            let bytes = sink.bytes_written();
+            sink.into_inner()
+                .and_then(|mut w| w.flush())
                 .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
             eprintln!(
                 "{} records, {} bytes ({:.1} bytes/record)",
-                trace.len(),
-                bytes.len(),
-                bytes.len() as f64 / trace.len().max(1) as f64
+                records,
+                bytes,
+                bytes as f64 / records.max(1) as f64
             );
         }
         [cmd, file] if cmd == "summary" => {

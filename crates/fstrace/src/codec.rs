@@ -100,6 +100,12 @@ impl From<io::Error> for DecodeError {
     }
 }
 
+/// Number of bytes [`put_varint`] emits for `v`.
+pub fn varint_len(v: u64) -> usize {
+    let bits = (64 - v.leading_zeros()).max(1) as usize;
+    bits.div_ceil(7)
+}
+
 /// Appends `v` to `out` as an LEB128 varint.
 pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -218,6 +224,53 @@ pub fn encode_into(out: &mut Vec<u8>, rec: &TraceRecord, prev_ticks: u64) -> u64
         }
     }
     ticks
+}
+
+/// Exact encoded size of `rec` given the previous record's tick count,
+/// plus the record's own tick count for chaining.
+///
+/// Mirrors [`encode_into`] field for field without materializing any
+/// bytes, so callers can pre-size buffers exactly (see
+/// `Trace::to_binary`) or report trace volume without re-encoding.
+pub fn encoded_len(rec: &TraceRecord, prev_ticks: u64) -> (usize, u64) {
+    let ticks = rec.time.as_ticks();
+    let dt = ticks.saturating_sub(prev_ticks);
+    let payload = match rec.event {
+        TraceEvent::Open {
+            open_id,
+            file_id,
+            user_id,
+            mode,
+            size,
+            created: _,
+        } => {
+            varint_len(open_id.0)
+                + varint_len(file_id.0)
+                + varint_len(user_id.0 as u64)
+                + varint_len(mode_code(mode))
+                + varint_len(size)
+        }
+        TraceEvent::Close { open_id, final_pos } => varint_len(open_id.0) + varint_len(final_pos),
+        TraceEvent::Seek {
+            open_id,
+            old_pos,
+            new_pos,
+        } => varint_len(open_id.0) + varint_len(old_pos) + varint_len(new_pos),
+        TraceEvent::Unlink { file_id, user_id } => {
+            varint_len(file_id.0) + varint_len(user_id.0 as u64)
+        }
+        TraceEvent::Truncate {
+            file_id,
+            new_len,
+            user_id,
+        } => varint_len(file_id.0) + varint_len(new_len) + varint_len(user_id.0 as u64),
+        TraceEvent::Execve {
+            file_id,
+            user_id,
+            size,
+        } => varint_len(file_id.0) + varint_len(user_id.0 as u64) + varint_len(size),
+    };
+    (1 + varint_len(dt) + payload, ticks)
 }
 
 /// Decodes one record from `buf` at `*pos`; `prev_ticks` is the previous
@@ -358,68 +411,128 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
-/// Reader of binary trace files; iterates decoded [`TraceRecord`]s.
-pub struct TraceReader {
+/// Upper bound on one encoded record: a tag byte plus six ten-byte
+/// varints (the `open` payload is the widest).
+const MAX_RECORD_BYTES: usize = 61;
+
+/// Refill granularity of the incremental reader.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Incremental reader of binary trace files.
+///
+/// The reader pulls from the underlying stream in [`CHUNK_BYTES`]-sized
+/// refills and keeps at most one chunk of undecoded bytes buffered, so
+/// arbitrarily long trace files decode in O(1) memory. [`next_record`]
+/// decodes one record at a time; the [`Iterator`] impl and
+/// [`read_all`] are built on it, so all three paths share one decode
+/// loop and one set of `fstrace.codec.*` counters.
+///
+/// [`next_record`]: TraceReader::next_record
+/// [`read_all`]: TraceReader::read_all
+pub struct TraceReader<R: Read> {
+    inner: R,
+    /// Undecoded bytes; `start..` is the live region.
     buf: Vec<u8>,
-    pos: usize,
+    start: usize,
     prev_ticks: u64,
+    eof: bool,
+    /// Set after the first error; a malformed record cannot be
+    /// resynchronized, so the reader yields nothing afterwards.
+    failed: bool,
 }
 
-impl TraceReader {
-    /// Reads the full stream into memory and validates the header.
-    pub fn new<R: Read>(mut inner: R) -> Result<Self, DecodeError> {
-        let mut buf = Vec::new();
-        inner.read_to_end(&mut buf)?;
-        if buf.len() < MAGIC.len() + 1 || buf[..4] != MAGIC {
+impl<R: Read> TraceReader<R> {
+    /// Wraps a stream and validates the file header.
+    pub fn new(inner: R) -> Result<Self, DecodeError> {
+        let mut r = Self {
+            inner,
+            buf: Vec::new(),
+            start: 0,
+            prev_ticks: 0,
+            eof: false,
+            failed: false,
+        };
+        r.refill()?;
+        if r.buf.len() < MAGIC.len() + 1 || r.buf[..4] != MAGIC {
             return Err(DecodeError::BadMagic);
         }
-        if buf[4] != VERSION {
-            return Err(DecodeError::BadVersion(buf[4]));
+        if r.buf[4] != VERSION {
+            return Err(DecodeError::BadVersion(r.buf[4]));
         }
-        Ok(Self {
-            buf,
-            pos: MAGIC.len() + 1,
-            prev_ticks: 0,
-        })
+        r.start = MAGIC.len() + 1;
+        Ok(r)
+    }
+
+    /// Tops the buffer up to at least one maximal record, unless the
+    /// stream is exhausted. After this, a decode failure is a genuine
+    /// format error, never an artifact of chunking.
+    fn refill(&mut self) -> io::Result<()> {
+        if self.eof || self.buf.len() - self.start >= MAX_RECORD_BYTES {
+            return Ok(());
+        }
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        while !self.eof && self.buf.len() < MAX_RECORD_BYTES {
+            let old = self.buf.len();
+            self.buf.resize(old + CHUNK_BYTES, 0);
+            let n = self.inner.read(&mut self.buf[old..])?;
+            self.buf.truncate(old + n);
+            if n == 0 {
+                self.eof = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Decodes the next record, refilling the buffer as needed.
+    ///
+    /// Returns `None` at end of stream; after the first error the
+    /// reader is poisoned and yields `None` forever.
+    pub fn next_record(&mut self) -> Option<Result<TraceRecord, DecodeError>> {
+        if self.failed {
+            return None;
+        }
+        if let Err(e) = self.refill() {
+            self.failed = true;
+            return Some(Err(e.into()));
+        }
+        if self.start >= self.buf.len() {
+            return None;
+        }
+        let mut pos = self.start;
+        match decode_from(&self.buf, &mut pos, self.prev_ticks) {
+            Ok((rec, ticks)) => {
+                self.prev_ticks = ticks;
+                let c = codec_counters();
+                c.records_decoded.inc();
+                c.bytes_decoded.add((pos - self.start) as u64);
+                self.start = pos;
+                Some(Ok(rec))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
     }
 
     /// Decodes every remaining record.
     pub fn read_all(mut self) -> Result<Vec<TraceRecord>, DecodeError> {
         let mut out = Vec::new();
-        let c = codec_counters();
-        while self.pos < self.buf.len() {
-            let before = self.pos;
-            let (rec, ticks) = decode_from(&self.buf, &mut self.pos, self.prev_ticks)?;
-            self.prev_ticks = ticks;
-            c.records_decoded.inc();
-            c.bytes_decoded.add((self.pos - before) as u64);
-            out.push(rec);
+        while let Some(rec) = self.next_record() {
+            out.push(rec?);
         }
         Ok(out)
     }
 }
 
-impl Iterator for TraceReader {
+impl<R: Read> Iterator for TraceReader<R> {
     type Item = Result<TraceRecord, DecodeError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.pos >= self.buf.len() {
-            return None;
-        }
-        let before = self.pos;
-        match decode_from(&self.buf, &mut self.pos, self.prev_ticks) {
-            Ok((rec, ticks)) => {
-                self.prev_ticks = ticks;
-                let c = codec_counters();
-                c.records_decoded.inc();
-                c.bytes_decoded.add((self.pos - before) as u64);
-                Some(Ok(rec))
-            }
-            Err(e) => {
-                self.pos = self.buf.len(); // Stop after an error.
-                Some(Err(e))
-            }
-        }
+        self.next_record()
     }
 }
 
@@ -689,6 +802,79 @@ mod tests {
         let mut it = TraceReader::new(&data[..]).unwrap();
         assert!(it.next().unwrap().is_err());
         assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_into() {
+        let mut prev_enc = 0u64;
+        let mut prev_len = 0u64;
+        for r in sample_records() {
+            let mut buf = Vec::new();
+            prev_enc = encode_into(&mut buf, &r, prev_enc);
+            let (len, ticks) = encoded_len(&r, prev_len);
+            prev_len = ticks;
+            assert_eq!(len, buf.len(), "record {r:?}");
+            assert_eq!(ticks, prev_enc);
+        }
+    }
+
+    #[test]
+    fn varint_len_matches_put_varint() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "value {v}");
+        }
+    }
+
+    /// A reader that hands out one byte per `read` call, exercising the
+    /// incremental refill paths.
+    struct OneByte<'a>(&'a [u8]);
+
+    impl Read for OneByte<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            match (self.0.split_first(), out.first_mut()) {
+                (Some((&b, rest)), Some(slot)) => {
+                    *slot = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                _ => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_decoding_matches_read_all() {
+        let records = sample_records();
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        drop(w);
+        let whole = TraceReader::new(&out[..]).unwrap().read_all().unwrap();
+        let mut dribbled = TraceReader::new(OneByte(&out)).unwrap();
+        let mut got = Vec::new();
+        while let Some(rec) = dribbled.next_record() {
+            got.push(rec.unwrap());
+        }
+        assert_eq!(got, whole);
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_silence() {
+        let records = sample_records();
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        drop(w);
+        out.pop(); // Chop the last record mid-payload.
+        let got = TraceReader::new(&out[..]).unwrap().read_all();
+        assert!(matches!(got, Err(DecodeError::BadVarint)));
     }
 
     #[test]

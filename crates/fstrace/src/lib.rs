@@ -15,6 +15,10 @@
 //!   with 10 ms timestamp quantization.
 //! * [`codec`] — a compact varint binary codec and a line-oriented text
 //!   codec, with [`TraceWriter`]/[`TraceReader`] streaming adapters.
+//! * [`source`] — streaming [`source::RecordSource`] /
+//!   [`source::RecordSink`] contracts, the k-way time-ordered
+//!   [`MergeSource`], and the [`ReorderBuffer`] that bounds the memory
+//!   of almost-sorted producers.
 //! * [`session`] — reconstruction of per-open access patterns
 //!   ([`OpenSession`], [`Run`]): the sequential runs, transfer billing at
 //!   the next close/seek, and derived file size at close.
@@ -45,12 +49,16 @@ pub mod codec;
 mod event;
 mod ids;
 pub mod session;
+pub mod source;
 pub mod summary;
 mod trace;
 
 pub use codec::{TraceReader, TraceWriter};
 pub use event::{AccessMode, EventKind, TraceEvent, TraceRecord};
 pub use ids::{FileId, OpenId, Timestamp, UserId, TICK_MS};
-pub use session::{OpenSession, Run, SessionSet};
+pub use session::{OpenSession, Run, SessionBuilder, SessionSet};
+pub use source::{
+    merged_records, IdOffsets, MergeSource, RecordSink, RecordSource, ReorderBuffer, TextSink,
+};
 pub use summary::TraceSummary;
 pub use trace::{Trace, TraceBuilder};

@@ -134,51 +134,96 @@ struct Pending {
     pos: u64,
 }
 
-impl SessionSet {
-    /// Reconstructs sessions by scanning trace records in order.
+/// Online session reconstruction: feed records one at a time, collect
+/// each closed session the moment its `close` arrives.
+///
+/// This is the single implementation of the paper's run deduction; the
+/// batch [`SessionSet::build`] is a thin wrapper over it. Memory is
+/// O(live sessions): a session is buffered only between its `open` and
+/// its `close`, so a week-long trace streams through without
+/// materializing anything proportional to its length.
+///
+/// # Examples
+///
+/// ```
+/// use fstrace::{AccessMode, SessionBuilder, TraceBuilder};
+///
+/// let mut b = TraceBuilder::new();
+/// let f = b.new_file_id();
+/// let u = b.new_user_id();
+/// let o = b.open(0, f, u, AccessMode::ReadOnly, 512, false);
+/// b.close(10, o, 512);
+/// let trace = b.finish();
+///
+/// let mut sb = SessionBuilder::new();
+/// let mut closed = 0;
+/// for rec in trace.records() {
+///     if let Some(s) = sb.observe(rec) {
+///         assert_eq!(s.bytes_transferred(), 512);
+///         closed += 1;
+///     }
+/// }
+/// let (unclosed, anomalies) = sb.finish();
+/// assert_eq!((closed, unclosed.len(), anomalies), (1, 0, 0));
+/// ```
+#[derive(Default)]
+pub struct SessionBuilder {
+    pending: HashMap<OpenId, Pending>,
+    anomalies: u64,
+    live_peak: usize,
+}
+
+impl SessionBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SessionBuilder::default()
+    }
+
+    /// Feeds one record; returns the completed session when the record
+    /// is a `close` that matches a live open.
     ///
-    /// `close`/`seek` events whose open id was never seen (possible when a
-    /// trace starts mid-activity) are counted as anomalies and skipped.
-    /// Opens still pending when the records end are kept with
-    /// `close_time == None`.
-    pub fn build(records: &[TraceRecord]) -> Self {
-        let mut pending: HashMap<OpenId, Pending> = HashMap::new();
-        let mut out = SessionSet::default();
-        for rec in records {
-            match rec.event {
-                TraceEvent::Open {
+    /// `close`/`seek` events whose open id was never seen (possible
+    /// when a trace starts mid-activity) are counted as anomalies and
+    /// skipped.
+    pub fn observe(&mut self, rec: &TraceRecord) -> Option<OpenSession> {
+        match rec.event {
+            TraceEvent::Open {
+                open_id,
+                file_id,
+                user_id,
+                mode,
+                size,
+                created,
+            } => {
+                let session = OpenSession {
                     open_id,
                     file_id,
                     user_id,
                     mode,
-                    size,
                     created,
-                } => {
-                    let session = OpenSession {
-                        open_id,
-                        file_id,
-                        user_id,
-                        mode,
-                        created,
-                        open_time: rec.time,
-                        close_time: None,
-                        open_size: size,
-                        runs: Vec::new(),
-                        seek_count: 0,
-                    };
-                    if pending
-                        .insert(open_id, Pending { session, pos: 0 })
-                        .is_some()
-                    {
-                        // Duplicate open id: drop the earlier, unfinished one.
-                        out.anomalies += 1;
-                    }
+                    open_time: rec.time,
+                    close_time: None,
+                    open_size: size,
+                    runs: Vec::new(),
+                    seek_count: 0,
+                };
+                if self
+                    .pending
+                    .insert(open_id, Pending { session, pos: 0 })
+                    .is_some()
+                {
+                    // Duplicate open id: drop the earlier, unfinished one.
+                    self.anomalies += 1;
                 }
-                TraceEvent::Seek {
-                    open_id,
-                    old_pos,
-                    new_pos,
-                } => match pending.get_mut(&open_id) {
+                self.live_peak = self.live_peak.max(self.pending.len());
+                None
+            }
+            TraceEvent::Seek {
+                open_id,
+                old_pos,
+                new_pos,
+            } => {
+                match self.pending.get_mut(&open_id) {
                     Some(p) => {
                         p.session.seek_count += 1;
                         if old_pos > p.pos {
@@ -190,45 +235,97 @@ impl SessionSet {
                         } else if old_pos < p.pos {
                             // Positions only move forward between seeks;
                             // a regression is a malformed trace.
-                            out.anomalies += 1;
+                            self.anomalies += 1;
                         }
                         p.pos = new_pos;
                     }
-                    None => out.anomalies += 1,
-                },
-                TraceEvent::Close { open_id, final_pos } => match pending.remove(&open_id) {
-                    Some(mut p) => {
-                        if final_pos > p.pos {
-                            p.session.runs.push(Run {
-                                offset: p.pos,
-                                len: final_pos - p.pos,
-                                billed_at: rec.time,
-                            });
-                        } else if final_pos < p.pos {
-                            out.anomalies += 1;
-                        }
-                        p.session.close_time = Some(rec.time);
-                        out.sessions.push(p.session);
+                    None => self.anomalies += 1,
+                }
+                None
+            }
+            TraceEvent::Close { open_id, final_pos } => match self.pending.remove(&open_id) {
+                Some(mut p) => {
+                    if final_pos > p.pos {
+                        p.session.runs.push(Run {
+                            offset: p.pos,
+                            len: final_pos - p.pos,
+                            billed_at: rec.time,
+                        });
+                    } else if final_pos < p.pos {
+                        self.anomalies += 1;
                     }
-                    None => out.anomalies += 1,
-                },
-                TraceEvent::Execve {
-                    file_id,
-                    user_id,
-                    size,
-                } => out.execs.push(ExecEvent {
+                    p.session.close_time = Some(rec.time);
+                    Some(p.session)
+                }
+                None => {
+                    self.anomalies += 1;
+                    None
+                }
+            },
+            TraceEvent::Execve { .. } | TraceEvent::Unlink { .. } | TraceEvent::Truncate { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Number of sessions currently open (the builder's live memory).
+    pub fn live_sessions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Greatest number of simultaneously open sessions seen so far.
+    pub fn live_sessions_peak(&self) -> usize {
+        self.live_peak
+    }
+
+    /// Anomalies counted so far (unknown open ids, position
+    /// regressions, duplicate open ids).
+    pub fn anomalies(&self) -> u64 {
+        self.anomalies
+    }
+
+    /// Consumes the builder, returning the still-open sessions (sorted
+    /// by open time, then open id, with `close_time == None`) and the
+    /// final anomaly count.
+    pub fn finish(self) -> (Vec<OpenSession>, u64) {
+        let mut rest: Vec<OpenSession> = self.pending.into_values().map(|p| p.session).collect();
+        rest.sort_by_key(|s| (s.open_time, s.open_id));
+        (rest, self.anomalies)
+    }
+}
+
+impl SessionSet {
+    /// Reconstructs sessions by scanning trace records in order.
+    ///
+    /// A thin wrapper over the streaming [`SessionBuilder`]: closed
+    /// sessions land in close order, opens still pending when the
+    /// records end are kept with `close_time == None`, and `execve`
+    /// events are collected on the side.
+    pub fn build(records: &[TraceRecord]) -> Self {
+        let mut builder = SessionBuilder::new();
+        let mut out = SessionSet::default();
+        for rec in records {
+            if let TraceEvent::Execve {
+                file_id,
+                user_id,
+                size,
+            } = rec.event
+            {
+                out.execs.push(ExecEvent {
                     time: rec.time,
                     file_id,
                     user_id,
                     size,
-                }),
-                TraceEvent::Unlink { .. } | TraceEvent::Truncate { .. } => {}
+                });
+            }
+            if let Some(s) = builder.observe(rec) {
+                out.sessions.push(s);
             }
         }
         // Keep unfinished opens so Table IV still sees their activity.
-        out.unclosed = pending.len() as u64;
-        let mut rest: Vec<OpenSession> = pending.into_values().map(|p| p.session).collect();
-        rest.sort_by_key(|s| (s.open_time, s.open_id));
+        let (rest, anomalies) = builder.finish();
+        out.unclosed = rest.len() as u64;
+        out.anomalies = anomalies;
         out.sessions.extend(rest);
         out
     }

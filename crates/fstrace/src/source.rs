@@ -1,0 +1,529 @@
+//! Streaming record sources, sinks, and the k-way merge.
+//!
+//! The paper's tracer streamed events off a live kernel for days; this
+//! module gives the reproduction the same shape. A [`RecordSource`] is
+//! any fallible iterator of [`TraceRecord`]s — an in-memory trace, an
+//! incremental [`crate::TraceReader`], or a [`MergeSource`] combining
+//! several of either. A [`RecordSink`] is anywhere records go — a
+//! `Vec`, a [`TraceWriter`], a [`TextSink`]. Producers that emit
+//! records slightly out of order (the workload engine interleaves
+//! actors within a scheduling step) pass through a [`ReorderBuffer`],
+//! whose occupancy high-water mark is exported as the
+//! `fstrace.pipeline.buffered_records_peak` gauge — the observable form
+//! of the bounded-memory claim.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::io;
+use std::sync::OnceLock;
+
+use crate::codec::{self, DecodeError, TraceWriter};
+use crate::event::{TraceEvent, TraceRecord};
+use crate::ids::{FileId, OpenId, Timestamp, UserId};
+use crate::trace::Trace;
+
+/// A stream of trace records in nondecreasing time order.
+///
+/// Blanket-implemented for every `Iterator<Item = Result<TraceRecord,
+/// DecodeError>>`, so adapters compose with plain iterator combinators;
+/// the trait exists to name the contract (time order, fail-stop on the
+/// first error) that analyzers and the replay expander rely on.
+pub trait RecordSource: Iterator<Item = Result<TraceRecord, DecodeError>> {}
+
+impl<T: Iterator<Item = Result<TraceRecord, DecodeError>> + ?Sized> RecordSource for T {}
+
+/// A destination for a stream of trace records.
+///
+/// Implemented by `Vec<TraceRecord>` (materialize), [`TraceWriter`]
+/// (binary encode), and [`TextSink`] (text encode), so one generator
+/// pass can feed any of them without holding the full trace.
+pub trait RecordSink {
+    /// Accepts one record.
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()>;
+}
+
+impl RecordSink for Vec<TraceRecord> {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.push(*rec);
+        Ok(())
+    }
+}
+
+impl<W: io::Write> RecordSink for TraceWriter<W> {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.write(rec)
+    }
+}
+
+impl<S: RecordSink + ?Sized> RecordSink for &mut S {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        (**self).write_record(rec)
+    }
+}
+
+/// A [`RecordSink`] emitting the line-oriented text format.
+pub struct TextSink<W: io::Write> {
+    inner: W,
+}
+
+impl<W: io::Write> TextSink<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        TextSink { inner }
+    }
+
+    /// Returns the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: io::Write> RecordSink for TextSink<W> {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        writeln!(self.inner, "{}", codec::to_text(rec))
+    }
+}
+
+/// Offsets added to every id of one merge input, so clients never
+/// collide in the merged stream (see [`Trace::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdOffsets {
+    /// Added to every open id.
+    pub open: u64,
+    /// Added to every file id.
+    pub file: u64,
+    /// Added to every user id.
+    pub user: u32,
+}
+
+/// Returns `rec` with all ids shifted by `off`.
+pub fn remap_record(rec: &TraceRecord, off: IdOffsets) -> TraceRecord {
+    let event = match rec.event {
+        TraceEvent::Open {
+            open_id,
+            file_id,
+            user_id,
+            mode,
+            size,
+            created,
+        } => TraceEvent::Open {
+            open_id: OpenId(open_id.0 + off.open),
+            file_id: FileId(file_id.0 + off.file),
+            user_id: UserId(user_id.0 + off.user),
+            mode,
+            size,
+            created,
+        },
+        TraceEvent::Close { open_id, final_pos } => TraceEvent::Close {
+            open_id: OpenId(open_id.0 + off.open),
+            final_pos,
+        },
+        TraceEvent::Seek {
+            open_id,
+            old_pos,
+            new_pos,
+        } => TraceEvent::Seek {
+            open_id: OpenId(open_id.0 + off.open),
+            old_pos,
+            new_pos,
+        },
+        TraceEvent::Unlink { file_id, user_id } => TraceEvent::Unlink {
+            file_id: FileId(file_id.0 + off.file),
+            user_id: UserId(user_id.0 + off.user),
+        },
+        TraceEvent::Truncate {
+            file_id,
+            new_len,
+            user_id,
+        } => TraceEvent::Truncate {
+            file_id: FileId(file_id.0 + off.file),
+            new_len,
+            user_id: UserId(user_id.0 + off.user),
+        },
+        TraceEvent::Execve {
+            file_id,
+            user_id,
+            size,
+        } => TraceEvent::Execve {
+            file_id: FileId(file_id.0 + off.file),
+            user_id: UserId(user_id.0 + off.user),
+            size,
+        },
+    };
+    TraceRecord {
+        time: rec.time,
+        event,
+    }
+}
+
+/// K-way time-ordered merge of several record sources.
+///
+/// Each input must itself be in nondecreasing time order (every
+/// [`RecordSource`] is); the merge then emits the exact sequence a
+/// concatenate-remap-stable-sort of the materialized inputs would —
+/// records with equal timestamps come out in input order, and within
+/// one input in that input's order — while buffering only one record
+/// per input. This is what lets the server experiment simulate the sum
+/// of N client traces without ever materializing the merged trace.
+///
+/// On the first error from any input, the merge yields that error and
+/// ends; a partially merged stream cannot be resynchronized.
+pub struct MergeSource<S> {
+    sources: Vec<S>,
+    offsets: Vec<IdOffsets>,
+    /// Head record of each non-exhausted source, keyed into by `heap`.
+    heads: Vec<Option<TraceRecord>>,
+    /// Min-heap of (head time, source index); the index tie-break makes
+    /// equal-time ordering match stable concatenation order.
+    heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    pending_err: Option<DecodeError>,
+    started: bool,
+    failed: bool,
+}
+
+impl<S> MergeSource<S>
+where
+    S: Iterator<Item = Result<TraceRecord, DecodeError>>,
+{
+    /// Combines sources, remapping each one's ids by its offsets.
+    pub fn new(sources: Vec<(S, IdOffsets)>) -> Self {
+        let (sources, offsets): (Vec<S>, Vec<IdOffsets>) = sources.into_iter().unzip();
+        let heads = sources.iter().map(|_| None).collect();
+        MergeSource {
+            sources,
+            offsets,
+            heads,
+            heap: BinaryHeap::new(),
+            pending_err: None,
+            started: false,
+            failed: false,
+        }
+    }
+
+    /// Pulls the next record of source `i` into `heads`/`heap`.
+    fn advance(&mut self, i: usize) {
+        match self.sources[i].next() {
+            Some(Ok(rec)) => {
+                let rec = remap_record(&rec, self.offsets[i]);
+                self.heap.push(Reverse((rec.time, i)));
+                self.heads[i] = Some(rec);
+            }
+            Some(Err(e)) => self.pending_err = Some(e),
+            None => {}
+        }
+    }
+}
+
+impl<S> Iterator for MergeSource<S>
+where
+    S: Iterator<Item = Result<TraceRecord, DecodeError>>,
+{
+    type Item = Result<TraceRecord, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            for i in 0..self.sources.len() {
+                self.advance(i);
+            }
+        }
+        if let Some(e) = self.pending_err.take() {
+            self.failed = true;
+            return Some(Err(e));
+        }
+        let Reverse((_, i)) = self.heap.pop()?;
+        let rec = self.heads[i].take().expect("heap entry has a head record");
+        self.advance(i);
+        Some(Ok(rec))
+    }
+}
+
+/// An infallible in-memory record iterator, for feeding [`MergeSource`].
+type TraceRecords<'a> = std::iter::Map<
+    std::slice::Iter<'a, TraceRecord>,
+    fn(&TraceRecord) -> Result<TraceRecord, DecodeError>,
+>;
+
+fn ok_record(rec: &TraceRecord) -> Result<TraceRecord, DecodeError> {
+    Ok(*rec)
+}
+
+/// Streams the k-way merge of in-memory traces with automatic
+/// collision-free id offsets — [`Trace::merge`]'s record sequence
+/// without the materialization. The inputs are infallible, so every
+/// item is `Ok`.
+pub fn merged_records<'a>(traces: &[&'a Trace]) -> MergeSource<TraceRecords<'a>> {
+    let mut sources: Vec<(TraceRecords<'a>, IdOffsets)> = Vec::with_capacity(traces.len());
+    let mut off = IdOffsets::default();
+    for t in traces {
+        sources.push((
+            t.records().iter().map(ok_record as fn(&TraceRecord) -> _),
+            off,
+        ));
+        let (o, f, u) = t.max_ids();
+        off.open += o + 1;
+        off.file += f + 1;
+        off.user += u + 1;
+    }
+    MergeSource::new(sources)
+}
+
+/// The `fstrace.pipeline.buffered_records_peak` gauge: the most records
+/// any [`ReorderBuffer`] in this process has held at once.
+fn buffered_records_peak() -> &'static obs::Gauge {
+    static CELL: OnceLock<obs::Gauge> = OnceLock::new();
+    CELL.get_or_init(|| obs::global().gauge("fstrace.pipeline.buffered_records_peak"))
+}
+
+/// A heap entry ordered by (time, arrival sequence) only.
+struct Queued {
+    rec: TraceRecord,
+    seq: u64,
+}
+
+impl Queued {
+    fn key(&self) -> (Timestamp, u64) {
+        (self.rec.time, self.seq)
+    }
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Queued {}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Re-sorts a bounded-skew record stream into nondecreasing time order.
+///
+/// The workload engine emits records in scheduling order: each actor
+/// step produces records at or after the step's wake time, but two
+/// actors interleave, so the raw emission sequence is only *almost*
+/// sorted. Buffering the skew window — and nothing more — reproduces
+/// exactly what [`Trace::from_records`]'s stable sort would: records
+/// come out ordered by time, ties broken by emission order.
+///
+/// [`release_before`] drains everything strictly before a watermark the
+/// producer promises not to emit under again; [`finish`] drains the
+/// rest. Occupancy is recorded into the process-wide
+/// `fstrace.pipeline.buffered_records_peak` gauge on every push.
+///
+/// [`release_before`]: ReorderBuffer::release_before
+/// [`finish`]: ReorderBuffer::finish
+#[derive(Default)]
+pub struct ReorderBuffer {
+    heap: BinaryHeap<Reverse<Queued>>,
+    next_seq: u64,
+    peak: usize,
+}
+
+impl ReorderBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        ReorderBuffer::default()
+    }
+
+    /// Buffers one record.
+    pub fn push(&mut self, rec: TraceRecord) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Queued { rec, seq }));
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+            buffered_records_peak().record(self.peak as u64);
+        }
+    }
+
+    /// Writes every buffered record whose (quantized) time is strictly
+    /// before `watermark_ms` to `sink`, in time order.
+    ///
+    /// The caller promises that no record pushed later has a quantized
+    /// time below the watermark's quantized time; the comparison is
+    /// done in 10 ms ticks, matching the records' own granularity.
+    pub fn release_before(
+        &mut self,
+        watermark_ms: u64,
+        sink: &mut dyn RecordSink,
+    ) -> io::Result<()> {
+        let watermark = Timestamp::from_ms(watermark_ms);
+        while let Some(Reverse(q)) = self.heap.peek() {
+            if q.rec.time >= watermark {
+                break;
+            }
+            let Reverse(q) = self.heap.pop().expect("peeked entry exists");
+            sink.write_record(&q.rec)?;
+        }
+        Ok(())
+    }
+
+    /// Drains every remaining record to `sink`, in time order.
+    pub fn finish(mut self, sink: &mut dyn RecordSink) -> io::Result<()> {
+        while let Some(Reverse(q)) = self.heap.pop() {
+            sink.write_record(&q.rec)?;
+        }
+        Ok(())
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Greatest number of records this buffer has held at once.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AccessMode;
+    use crate::trace::TraceBuilder;
+
+    fn client(seed: u64, events: u64) -> Trace {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        for i in 0..events {
+            let f = b.new_file_id();
+            let t = seed + i * 70;
+            let o = b.open(t, f, u, AccessMode::ReadOnly, 1000, false);
+            b.close(t + 30, o, 1000);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn merge_matches_materialized_trace_merge() {
+        let a = client(0, 5);
+        let b = client(35, 4);
+        let c = client(10, 3);
+        let streamed: Vec<TraceRecord> = merged_records(&[&a, &b, &c])
+            .map(|r| r.expect("in-memory merge is infallible"))
+            .collect();
+        let merged = Trace::merge(&[a, b, c]);
+        assert_eq!(streamed, merged.records());
+    }
+
+    #[test]
+    fn merge_ties_prefer_earlier_source() {
+        let a = client(100, 1); // open at 100, close at 130
+        let b = client(100, 1);
+        let recs: Vec<TraceRecord> = merged_records(&[&a, &b]).map(|r| r.unwrap()).collect();
+        // Equal timestamps: source 0's record first, like stable sort.
+        assert_eq!(recs[0].time, recs[1].time);
+        assert_eq!(recs[0].event.open_id(), Some(OpenId(0)));
+        assert!(recs[1].event.open_id().map(|o| o.0) > Some(0));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        assert_eq!(merged_records(&[]).count(), 0);
+    }
+
+    #[test]
+    fn merge_stops_at_first_source_error() {
+        let good = vec![Ok(TraceRecord::new(
+            0,
+            TraceEvent::Unlink {
+                file_id: FileId(0),
+                user_id: UserId(0),
+            },
+        ))];
+        let bad: Vec<Result<TraceRecord, DecodeError>> = vec![Err(DecodeError::BadVarint)];
+        let mut m = MergeSource::new(vec![
+            (good.into_iter(), IdOffsets::default()),
+            (bad.into_iter(), IdOffsets::default()),
+        ]);
+        assert!(m.next().expect("first item").is_err());
+        assert!(m.next().is_none());
+    }
+
+    #[test]
+    fn reorder_buffer_matches_stable_sort() {
+        // Emission order: interleaved, slightly out of order, with ties.
+        let rec = |t: u64, fid: u64| {
+            TraceRecord::new(
+                t,
+                TraceEvent::Unlink {
+                    file_id: FileId(fid),
+                    user_id: UserId(0),
+                },
+            )
+        };
+        let emitted = vec![
+            rec(20, 0),
+            rec(10, 1),
+            rec(20, 2),
+            rec(40, 3),
+            rec(30, 4),
+            rec(40, 5),
+        ];
+        let mut buf = ReorderBuffer::new();
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for (i, r) in emitted.iter().enumerate() {
+            buf.push(*r);
+            if i == 3 {
+                // Producer guarantees nothing below t=30 comes later.
+                buf.release_before(30, &mut out).unwrap();
+            }
+        }
+        buf.finish(&mut out).unwrap();
+        let expected = Trace::from_records(emitted.clone());
+        assert_eq!(out, expected.records());
+    }
+
+    #[test]
+    fn reorder_buffer_tracks_peak() {
+        let mut buf = ReorderBuffer::new();
+        for t in [30u64, 20, 10] {
+            buf.push(TraceRecord::new(
+                t,
+                TraceEvent::Unlink {
+                    file_id: FileId(0),
+                    user_id: UserId(0),
+                },
+            ));
+        }
+        assert_eq!(buf.peak(), 3);
+        let mut out: Vec<TraceRecord> = Vec::new();
+        buf.finish(&mut out).unwrap();
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(obs::global()
+            .snapshot()
+            .gauge("fstrace.pipeline.buffered_records_peak")
+            .is_some_and(|v| v >= 3));
+    }
+
+    #[test]
+    fn text_sink_writes_parseable_lines() {
+        let t = client(0, 2);
+        let mut sink = TextSink::new(Vec::new());
+        for r in t.records() {
+            sink.write_record(r).unwrap();
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+}

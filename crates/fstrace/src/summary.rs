@@ -76,7 +76,7 @@ impl TraceSummary {
         TraceSummary {
             duration_hours,
             records: trace.len() as u64,
-            trace_file_bytes: trace.to_binary().len() as u64,
+            trace_file_bytes: trace.binary_len() as u64,
             total_bytes_transferred: trace.sessions().total_bytes_transferred(),
             event_counts,
             opens_per_second,

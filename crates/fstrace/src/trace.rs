@@ -6,6 +6,7 @@ use crate::codec::{self, DecodeError, TraceReader, TraceWriter};
 use crate::event::{AccessMode, TraceEvent, TraceRecord};
 use crate::ids::{FileId, OpenId, Timestamp, UserId};
 use crate::session::SessionSet;
+use crate::source::{self, IdOffsets};
 use crate::summary::TraceSummary;
 
 /// A complete trace: time-ordered records plus derived views.
@@ -79,14 +80,29 @@ impl Trace {
         TraceSummary::compute(self)
     }
 
+    /// Exact size of [`Trace::to_binary`]'s output, without encoding.
+    pub fn binary_len(&self) -> usize {
+        let mut len = codec::MAGIC.len() + 1;
+        let mut prev_ticks = 0u64;
+        for r in &self.records {
+            let (n, ticks) = codec::encoded_len(r, prev_ticks);
+            len += n;
+            prev_ticks = ticks;
+        }
+        len
+    }
+
     /// Serializes to the compact binary format.
     pub fn to_binary(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.records.len() * 8 + 8);
+        // Pre-size exactly (via the codec's sizing mirror) so the
+        // buffer never reallocates mid-encode.
+        let mut out = Vec::with_capacity(self.binary_len());
         let mut w = TraceWriter::new(&mut out).expect("vec write cannot fail");
         for r in &self.records {
             w.write(r).expect("vec write cannot fail");
         }
         drop(w);
+        debug_assert_eq!(out.len(), self.binary_len());
         out
     }
 
@@ -180,68 +196,16 @@ impl Trace {
     /// Returns a copy with every open, file, and user id shifted by the
     /// given offsets — the ingredient for collision-free merging.
     pub fn remap_ids(&self, open_off: u64, file_off: u64, user_off: u32) -> Trace {
-        let remap = |e: &TraceEvent| -> TraceEvent {
-            match *e {
-                TraceEvent::Open {
-                    open_id,
-                    file_id,
-                    user_id,
-                    mode,
-                    size,
-                    created,
-                } => TraceEvent::Open {
-                    open_id: OpenId(open_id.0 + open_off),
-                    file_id: FileId(file_id.0 + file_off),
-                    user_id: UserId(user_id.0 + user_off),
-                    mode,
-                    size,
-                    created,
-                },
-                TraceEvent::Close { open_id, final_pos } => TraceEvent::Close {
-                    open_id: OpenId(open_id.0 + open_off),
-                    final_pos,
-                },
-                TraceEvent::Seek {
-                    open_id,
-                    old_pos,
-                    new_pos,
-                } => TraceEvent::Seek {
-                    open_id: OpenId(open_id.0 + open_off),
-                    old_pos,
-                    new_pos,
-                },
-                TraceEvent::Unlink { file_id, user_id } => TraceEvent::Unlink {
-                    file_id: FileId(file_id.0 + file_off),
-                    user_id: UserId(user_id.0 + user_off),
-                },
-                TraceEvent::Truncate {
-                    file_id,
-                    new_len,
-                    user_id,
-                } => TraceEvent::Truncate {
-                    file_id: FileId(file_id.0 + file_off),
-                    new_len,
-                    user_id: UserId(user_id.0 + user_off),
-                },
-                TraceEvent::Execve {
-                    file_id,
-                    user_id,
-                    size,
-                } => TraceEvent::Execve {
-                    file_id: FileId(file_id.0 + file_off),
-                    user_id: UserId(user_id.0 + user_off),
-                    size,
-                },
-            }
+        let off = IdOffsets {
+            open: open_off,
+            file: file_off,
+            user: user_off,
         };
         Trace {
             records: self
                 .records
                 .iter()
-                .map(|r| TraceRecord {
-                    time: r.time,
-                    event: remap(&r.event),
-                })
+                .map(|r| source::remap_record(r, off))
                 .collect(),
         }
     }
@@ -269,18 +233,18 @@ impl Trace {
     /// so that clients never collide — the workload a shared network
     /// file server would see if these machines mounted their files from
     /// it (the scenario Section 6 of the paper opens with).
+    ///
+    /// A thin wrapper over the streaming k-way
+    /// [`merge`](source::merged_records): collecting that source yields
+    /// exactly the concatenate-remap-stable-sort sequence this function
+    /// always produced, so callers that can consume a stream (the
+    /// server experiment) skip the materialization entirely.
     pub fn merge(traces: &[Trace]) -> Trace {
-        let mut records = Vec::new();
-        let (mut open_off, mut file_off, mut user_off) = (0u64, 0u64, 0u32);
-        for t in traces {
-            let remapped = t.remap_ids(open_off, file_off, user_off);
-            records.extend_from_slice(remapped.records());
-            let (o, fid, u) = t.max_ids();
-            open_off += o + 1;
-            file_off += fid + 1;
-            user_off += u + 1;
-        }
-        Trace::from_records(records)
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let records = source::merged_records(&refs)
+            .map(|r| r.expect("in-memory merge is infallible"))
+            .collect();
+        Trace { records }
     }
 
     /// Parses the text form produced by [`Trace::write_text`].
@@ -469,6 +433,33 @@ mod tests {
         let bytes = t.to_binary();
         let back = Trace::from_binary(&bytes).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn to_binary_is_exactly_sized() {
+        // Regression: the capacity used to be guessed as len()*8+8,
+        // which both over-allocated tiny traces and forced reallocation
+        // on traces with wide records. binary_len() must be exact.
+        for t in [Trace::default(), small_trace()] {
+            let bytes = t.to_binary();
+            assert_eq!(bytes.len(), t.binary_len());
+        }
+        assert_eq!(Trace::default().binary_len(), 5); // Header only.
+    }
+
+    #[test]
+    fn zero_and_one_record_traces_roundtrip() {
+        let empty = Trace::default();
+        assert_eq!(Trace::from_binary(&empty.to_binary()).unwrap(), empty);
+
+        let mut b = TraceBuilder::new();
+        let f = b.new_file_id();
+        let u = b.new_user_id();
+        b.execve(123_456, f, u, u64::MAX);
+        let one = b.finish();
+        let bytes = one.to_binary();
+        assert_eq!(bytes.len(), one.binary_len());
+        assert_eq!(Trace::from_binary(&bytes).unwrap(), one);
     }
 
     #[test]

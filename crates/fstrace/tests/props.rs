@@ -3,7 +3,11 @@
 use proptest::prelude::*;
 
 use fstrace::codec::{from_text, to_text};
-use fstrace::{AccessMode, FileId, OpenId, Timestamp, Trace, TraceEvent, TraceRecord, UserId};
+use fstrace::source::remap_record;
+use fstrace::{
+    merged_records, AccessMode, FileId, IdOffsets, OpenId, ReorderBuffer, Timestamp, Trace,
+    TraceEvent, TraceReader, TraceRecord, UserId,
+};
 
 fn arb_mode() -> impl Strategy<Value = AccessMode> {
     prop_oneof![
@@ -68,6 +72,37 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                 .collect(),
         )
     })
+}
+
+/// Like [`arb_trace`] but over a handful of 10 ms ticks, so traces
+/// collide on timestamps constantly — the interesting regime for merge
+/// tie-breaking.
+fn arb_tied_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..300u64, arb_event()), 0..60).prop_map(|pairs| {
+        Trace::from_records(
+            pairs
+                .into_iter()
+                .map(|(t, e)| TraceRecord::new(t, e))
+                .collect(),
+        )
+    })
+}
+
+/// A reader returning at most `chunk` bytes per call, exercising the
+/// incremental decoder's refill path at every possible split point.
+struct TrickleReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl std::io::Read for TrickleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
 }
 
 proptest! {
@@ -179,5 +214,89 @@ proptest! {
             prop_assert_eq!(got.time, want.time);
             prop_assert_eq!(got.time.as_ms(), want.time.as_ms() / 10 * 10);
         }
+    }
+
+    /// The streaming k-way merge emits exactly what concatenate, remap,
+    /// stable-sort of the materialized inputs would — equal timestamps
+    /// resolve to input order, and each input's internal order is kept.
+    /// The tied time range makes cross-input collisions the common case.
+    #[test]
+    fn merge_matches_concat_remap_stable_sort(
+        traces in prop::collection::vec(arb_tied_trace(), 0..4),
+    ) {
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let streamed: Vec<TraceRecord> = merged_records(&refs)
+            .map(|r| r.expect("in-memory merge is infallible"))
+            .collect();
+        // Independent model: concatenate the remapped inputs in order
+        // and let from_records' stable sort arrange them.
+        let mut off = IdOffsets::default();
+        let mut concat: Vec<TraceRecord> = Vec::new();
+        for t in &traces {
+            concat.extend(t.records().iter().map(|r| remap_record(r, off)));
+            let (o, f, u) = t.max_ids();
+            off.open += o + 1;
+            off.file += f + 1;
+            off.user += u + 1;
+        }
+        let model = Trace::from_records(concat);
+        prop_assert_eq!(&streamed[..], model.records());
+    }
+
+    /// The reorder buffer's watermark protocol reproduces the stable
+    /// sort for any emission sequence that honors the promise: records
+    /// pushed after `release_before(w)` never land below `w`.
+    #[test]
+    fn reorder_buffer_equals_stable_sort(
+        early in prop::collection::vec((0u64..1000u64, arb_event()), 0..50),
+        late in prop::collection::vec((0u64..1000u64, arb_event()), 0..50),
+        watermark in 0u64..1000,
+    ) {
+        let early: Vec<TraceRecord> = early
+            .into_iter()
+            .map(|(t, e)| TraceRecord::new(t, e))
+            .collect();
+        let late: Vec<TraceRecord> = late
+            .into_iter()
+            .map(|(t, e)| TraceRecord::new(watermark + t, e))
+            .collect();
+        let mut buf = ReorderBuffer::new();
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for r in &early {
+            buf.push(*r);
+        }
+        buf.release_before(watermark, &mut out).unwrap();
+        // Early releases stay strictly below the quantized watermark.
+        let w = Timestamp::from_ms(watermark);
+        prop_assert!(out.iter().all(|r| r.time < w));
+        for r in &late {
+            buf.push(*r);
+        }
+        buf.finish(&mut out).unwrap();
+        let mut all = early;
+        all.extend(late.iter().copied());
+        let expected = Trace::from_records(all);
+        prop_assert_eq!(&out[..], expected.records());
+    }
+
+    /// Incremental decoding through an adversarially tiny reader (down
+    /// to one byte per read) yields the same records as whole-buffer
+    /// decoding, for any chunk size.
+    #[test]
+    fn chunked_reader_matches_from_binary(trace in arb_trace(), chunk in 1usize..17) {
+        let bytes = trace.to_binary();
+        let reader = TrickleReader { data: &bytes, pos: 0, chunk };
+        let records: Vec<TraceRecord> = TraceReader::new(reader)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(&records[..], trace.records());
+    }
+
+    /// `binary_len` predicts the encoded size exactly for any trace, so
+    /// `to_binary` never reallocates.
+    #[test]
+    fn binary_len_is_exact(trace in arb_trace()) {
+        prop_assert_eq!(trace.to_binary().len(), trace.binary_len());
     }
 }

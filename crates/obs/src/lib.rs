@@ -10,6 +10,9 @@
 //! * [`Counter`] — a lock-free atomic counter. Handles are cheap
 //!   [`Clone`]s of one shared cell, so a subsystem can keep its handle
 //!   in a hot path while the same cell is registered for export.
+//! * [`Gauge`] — a lock-free high-water-mark gauge (`fetch_max`), for
+//!   peak-occupancy claims such as the streaming pipeline's
+//!   `buffered_records_peak`.
 //! * [`Histogram`] — a [`simstat::LogHistogram`]-backed value recorder
 //!   (power-of-two buckets) with count/sum/min/max, for latencies and
 //!   sizes.
@@ -59,7 +62,7 @@ pub mod json;
 mod metric;
 mod registry;
 
-pub use metric::{Counter, HistSnapshot, Histogram, Span, SpanGuard, SpanSnapshot};
+pub use metric::{Counter, Gauge, HistSnapshot, Histogram, Span, SpanGuard, SpanSnapshot};
 pub use registry::{Registry, Snapshot};
 
 /// The process-wide registry.

@@ -48,6 +48,46 @@ impl Counter {
     }
 }
 
+/// A lock-free high-water-mark gauge.
+///
+/// [`Gauge::record`] keeps the *maximum* value ever observed, which is
+/// the right shape for bounded-memory claims: a streaming stage records
+/// its current buffer occupancy on every push, and the snapshot reports
+/// the peak — `fstrace.pipeline.buffered_records_peak` staying flat
+/// while trace length grows is the observable form of "memory is
+/// O(live sessions), not O(records)". Clones share one atomic cell,
+/// like [`Counter`].
+///
+/// # Examples
+///
+/// ```
+/// use obs::Gauge;
+///
+/// let g = Gauge::new();
+/// g.record(7);
+/// g.record(3); // Lower values never shrink the high-water mark.
+/// assert_eq!(g.get(), 7);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Records an observation, keeping the maximum seen so far.
+    pub fn record(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current high-water mark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// Accumulated wall-clock time for one named scope.
 ///
 /// A span records how many times the scope was entered and the total

@@ -4,11 +4,12 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
 use crate::json::JsonWriter;
-use crate::metric::{Counter, HistSnapshot, Histogram, Span, SpanSnapshot};
+use crate::metric::{Counter, Gauge, HistSnapshot, Histogram, Span, SpanSnapshot};
 
 #[derive(Clone, Debug)]
 enum Metric {
     Counter(Counter),
+    Gauge(Gauge),
     Histogram(Histogram),
     Span(Span),
 }
@@ -17,6 +18,7 @@ impl Metric {
     fn kind(&self) -> &'static str {
         match self {
             Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
             Metric::Histogram(_) => "histogram",
             Metric::Span(_) => "span",
         }
@@ -60,6 +62,18 @@ impl Registry {
         match self.get_or_insert(name, || Metric::Counter(Counter::new())) {
             Metric::Counter(c) => c,
             other => panic!("metric {name:?} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.get_or_insert(name, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} is a {}, not a gauge", other.kind()),
         }
     }
 
@@ -108,6 +122,13 @@ impl Registry {
         map.insert(name.to_string(), Metric::Histogram(histogram.clone()));
     }
 
+    /// Registers an existing gauge handle under `name`, replacing any
+    /// previous registration.
+    pub fn attach_gauge(&self, name: &str, gauge: &Gauge) {
+        let mut map = self.metrics.lock().expect("registry lock");
+        map.insert(name.to_string(), Metric::Gauge(gauge.clone()));
+    }
+
     /// Freezes every registered metric into a [`Snapshot`].
     pub fn snapshot(&self) -> Snapshot {
         let map = self.metrics.lock().expect("registry lock");
@@ -116,6 +137,9 @@ impl Registry {
             match metric {
                 Metric::Counter(c) => {
                     snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
                 }
                 Metric::Histogram(h) => {
                     snap.histograms.insert(name.clone(), h.snapshot());
@@ -134,6 +158,8 @@ impl Registry {
 pub struct Snapshot {
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge high-water marks by name.
+    pub gauges: BTreeMap<String, u64>,
     /// Span values by name.
     pub spans: BTreeMap<String, SpanSnapshot>,
     /// Histogram values by name.
@@ -144,6 +170,11 @@ impl Snapshot {
     /// The counter value under `name`, if registered.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.get(name).copied()
+    }
+
+    /// The gauge high-water mark under `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
     }
 
     /// The span values under `name`, if registered.
@@ -161,6 +192,7 @@ impl Snapshot {
     pub fn subsystems(&self) -> BTreeSet<String> {
         self.counters
             .keys()
+            .chain(self.gauges.keys())
             .chain(self.spans.keys())
             .chain(self.histograms.keys())
             .map(|name| name.split('.').next().unwrap_or(name.as_str()).to_string())
@@ -179,6 +211,7 @@ impl Snapshot {
     ///   "schema": "obs/v1",
     ///   "meta": {"git_sha": "…"},
     ///   "counters": {"name": 3},
+    ///   "gauges": {"name": 7},
     ///   "spans": {"name": {"count": 1, "total_ns": 42}},
     ///   "histograms": {
     ///     "name": {"count": 2, "sum": 10, "min": 4, "max": 6,
@@ -205,6 +238,13 @@ impl Snapshot {
         w.key("counters");
         w.begin_object();
         for (name, value) in &self.counters {
+            w.key(name);
+            w.number(*value);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, value) in &self.gauges {
             w.key(name);
             w.number(*value);
         }
@@ -270,6 +310,34 @@ mod tests {
         let reg = Registry::new();
         let _ = reg.counter("a.x");
         let _ = reg.histogram("a.x");
+    }
+
+    #[test]
+    fn gauge_keeps_high_water_mark() {
+        let reg = Registry::new();
+        reg.gauge("pipe.peak").record(9);
+        reg.gauge("pipe.peak").record(4);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("pipe.peak"), Some(9));
+        assert!(snap.to_json().contains("\"gauges\""));
+        assert!(snap.to_json().contains("\"pipe.peak\": 9"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn gauge_kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("a.y");
+        let _ = reg.gauge("a.y");
+    }
+
+    #[test]
+    fn attach_gauge_exports_live_handle() {
+        let reg = Registry::new();
+        let g = Gauge::new();
+        reg.attach_gauge("fs.live_peak", &g);
+        g.record(11);
+        assert_eq!(reg.snapshot().gauge("fs.live_peak"), Some(11));
     }
 
     #[test]

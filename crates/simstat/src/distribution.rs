@@ -86,6 +86,16 @@ impl Distribution {
         }
     }
 
+    /// Sorts and coalesces the buffered samples now rather than at the
+    /// first query.
+    ///
+    /// Useful before caching or cloning: a prepared distribution (and
+    /// any clone of it) answers queries without re-sorting, and holds
+    /// one entry per distinct value instead of one per `add` call.
+    pub fn prepare(&mut self) {
+        self.ensure_sorted();
+    }
+
     /// Fraction of total weight at values `<= limit`, in `[0, 1]`.
     ///
     /// Returns `0.0` when empty.

@@ -1,6 +1,6 @@
 //! Per-key activity accumulated over fixed time windows.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::OnlineStats;
 
@@ -44,8 +44,13 @@ pub struct WindowStats {
 #[derive(Debug, Clone)]
 pub struct WindowedSums {
     window_len: u64,
-    /// (window index, key) → summed amount.
-    sums: HashMap<(u64, u64), u64>,
+    /// (window index, key) → summed amount. Ordered so that [`stats`]
+    /// feeds its running moments in a deterministic order — repeated
+    /// analyses of the same observations are bit-identical, which the
+    /// streaming-vs-materialized pipeline equivalence tests rely on.
+    ///
+    /// [`stats`]: WindowedSums::stats
+    sums: BTreeMap<(u64, u64), u64>,
     first_window: Option<u64>,
     last_window: u64,
 }
@@ -60,7 +65,7 @@ impl WindowedSums {
         assert!(window_len > 0, "window length must be positive");
         Self {
             window_len,
-            sums: HashMap::new(),
+            sums: BTreeMap::new(),
             first_window: None,
             last_window: 0,
         }

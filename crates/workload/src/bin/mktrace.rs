@@ -9,12 +9,17 @@
 //! The default output is the compact binary format; `--text` writes one
 //! record per line instead. `tracefmt` (in the fstrace crate) converts
 //! between the two.
+//!
+//! Records stream from the generator straight into the encoder
+//! ([`workload::generate_into`]), so memory stays bounded no matter how
+//! many hours are simulated.
 
 use std::fs::File;
-use std::io::Write;
+use std::io::{BufWriter, Write};
 use std::process::exit;
 
-use workload::{generate, MachineProfile, WorkloadConfig};
+use fstrace::{TextSink, TraceWriter};
+use workload::{generate_into, MachineProfile, WorkloadConfig};
 
 fn main() {
     let mut profile: Option<MachineProfile> = None;
@@ -56,30 +61,36 @@ fn main() {
         "generating {} ({}) for {hours} simulated hours, seed {seed} ...",
         profile.trace_name, profile.name
     );
-    let generated = generate(&WorkloadConfig {
+    let config = WorkloadConfig {
         profile,
         seed,
         duration_hours: hours,
         ..WorkloadConfig::default()
-    })
-    .unwrap_or_else(|e| die(&format!("generation failed: {e}")));
-    let trace = generated.trace;
-    let mut file = File::create(&out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
-    let bytes = if text {
-        trace
-            .write_text(&mut file)
+    };
+    let file = File::create(&out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
+    let (records, bytes) = if text {
+        let mut sink = TextSink::new(BufWriter::new(file));
+        let stream =
+            generate_into(&config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+        sink.into_inner()
+            .flush()
             .unwrap_or_else(|e| die(&format!("write: {e}")));
-        None
+        (stream.records, None)
     } else {
-        let b = trace.to_binary();
-        file.write_all(&b)
+        let mut sink = TraceWriter::new(BufWriter::new(file))
+            .unwrap_or_else(|e| die(&format!("write header: {e}")));
+        let stream =
+            generate_into(&config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+        let bytes = sink.bytes_written();
+        sink.into_inner()
+            .and_then(|mut w| w.flush())
             .unwrap_or_else(|e| die(&format!("write: {e}")));
-        Some(b.len())
+        (stream.records, Some(bytes))
     };
     eprintln!(
         "wrote {}: {} records{}",
         out,
-        trace.len(),
+        records,
         bytes.map(|n| format!(", {n} bytes")).unwrap_or_default()
     );
 }

@@ -3,9 +3,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::io;
+use std::sync::OnceLock;
 
 use bsdfs::{Fd, Fs, FsError, FsParams, FsResult, OpenFlags, SeekFrom};
-use fstrace::Trace;
+use fstrace::{RecordSink, ReorderBuffer, Trace, TraceEvent, TraceRecord};
 
 use crate::apps::Ctx;
 use crate::namespace::{self, Namespace};
@@ -52,6 +55,84 @@ pub struct GeneratedTrace {
     pub errors: u64,
 }
 
+/// The product of a streaming workload run ([`generate_into`]): the
+/// records themselves already went to the sink, in time order.
+pub struct GeneratedStream {
+    /// The file system after the run — its buffer cache, name cache,
+    /// and disk counters feed the Section 6.4 comparison.
+    pub fs: Fs,
+    /// Commands that failed (ENOSPC etc.); should be zero.
+    pub errors: u64,
+    /// Records written to the sink.
+    pub records: u64,
+    /// Most simultaneously open files at any point in the trace.
+    pub live_sessions_peak: u64,
+}
+
+/// Why a streaming workload run stopped.
+#[derive(Debug)]
+pub enum GenerateError {
+    /// The file system could not be set up (e.g. the disk is too small
+    /// for the namespace).
+    Fs(FsError),
+    /// The record sink rejected a record.
+    Io(io::Error),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Fs(e) => write!(f, "file system error: {e}"),
+            GenerateError::Io(e) => write!(f, "record sink error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+impl From<FsError> for GenerateError {
+    fn from(e: FsError) -> Self {
+        GenerateError::Fs(e)
+    }
+}
+
+impl From<io::Error> for GenerateError {
+    fn from(e: io::Error) -> Self {
+        GenerateError::Io(e)
+    }
+}
+
+/// The `workload.live_sessions_peak` gauge: the most simultaneously
+/// open files any workload run in this process has produced.
+fn live_sessions_peak_gauge() -> &'static obs::Gauge {
+    static CELL: OnceLock<obs::Gauge> = OnceLock::new();
+    CELL.get_or_init(|| obs::global().gauge("workload.live_sessions_peak"))
+}
+
+/// Wraps the caller's sink to count records and track how many files
+/// are simultaneously open as records stream past in time order.
+struct CountingSink<'a> {
+    inner: &'a mut dyn RecordSink,
+    records: u64,
+    live: u64,
+    peak: u64,
+}
+
+impl RecordSink for CountingSink<'_> {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.records += 1;
+        match rec.event {
+            TraceEvent::Open { .. } => {
+                self.live += 1;
+                self.peak = self.peak.max(self.live);
+            }
+            TraceEvent::Close { .. } => self.live = self.live.saturating_sub(1),
+            _ => {}
+        }
+        self.inner.write_record(rec)
+    }
+}
+
 /// What a user is doing right now.
 enum Phase {
     /// Between bursts.
@@ -92,13 +173,60 @@ enum Actor {
 
 /// Runs the workload and returns the trace plus the file system.
 ///
+/// A thin wrapper over the streaming [`generate_into`]: records are
+/// collected into a `Vec` and wrapped in a [`Trace`]. Because the
+/// streaming engine already emits in time order, the result is
+/// byte-identical to what the engine's event loop produces directly.
+///
 /// # Errors
 ///
 /// Fails only if the initial namespace cannot be built (e.g. the
 /// configured disk is too small); runtime command errors are counted in
 /// [`GeneratedTrace::errors`] instead.
 pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let out = match generate_into(config, &mut records) {
+        Ok(out) => out,
+        Err(GenerateError::Fs(e)) => return Err(e),
+        Err(GenerateError::Io(_)) => unreachable!("a Vec sink cannot fail"),
+    };
+    Ok(GeneratedTrace {
+        trace: Trace::from_records(records),
+        fs: out.fs,
+        errors: out.errors,
+    })
+}
+
+/// Runs the workload, streaming trace records to `sink` in time order.
+///
+/// This is the engine's real implementation. Actors are interleaved on
+/// a scheduling heap whose wake times never decrease, and every actor
+/// step emits records at or after its wake time — so records that have
+/// fallen behind the scheduler's clock can be released immediately.
+/// Each step's records drain from the kernel tracer into a
+/// [`ReorderBuffer`] holding only the still-ambiguous tail; buffered
+/// occupancy is bounded by actor concurrency, not by trace length
+/// (high-water mark: the `fstrace.pipeline.buffered_records_peak`
+/// gauge). The peak number of simultaneously open files is exported as
+/// the `workload.live_sessions_peak` gauge.
+///
+/// # Errors
+///
+/// Fails if the initial namespace cannot be built or if `sink` rejects
+/// a record; runtime command errors are counted in
+/// [`GeneratedStream::errors`] instead.
+pub fn generate_into(
+    config: &WorkloadConfig,
+    sink: &mut dyn RecordSink,
+) -> Result<GeneratedStream, GenerateError> {
     let _timing = obs::global().span("workload.generate").start();
+    let mut out = CountingSink {
+        inner: sink,
+        records: 0,
+        live: 0,
+        peak: 0,
+    };
+    let mut buf = ReorderBuffer::new();
     let mut fs = Fs::new(config.fs_params.clone())?;
     let mut master = Sampler::new(config.seed);
     fs.set_trace_enabled(false);
@@ -133,6 +261,10 @@ pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
     let mut steps = 0u64;
     while let Some(Reverse((now, idx))) = heap.pop() {
         steps += 1;
+        // Wake times pop in nondecreasing order and every step emits at
+        // or after its wake time, so anything buffered before `now` is
+        // final and can stream out.
+        buf.release_before(now, &mut out)?;
         if now >= end_ms {
             continue;
         }
@@ -161,17 +293,28 @@ pub fn generate(config: &WorkloadConfig) -> FsResult<GeneratedTrace> {
             }
         };
         heap.push(Reverse((wake, idx)));
+        for rec in fs.drain_trace_records() {
+            buf.push(rec);
+        }
     }
     fs.sync(end_ms);
-    let trace = fs.take_trace();
+    for rec in fs.drain_trace_records() {
+        buf.push(rec);
+    }
+    buf.finish(&mut out)?;
+    let (records, peak) = (out.records, out.peak);
+    live_sessions_peak_gauge().record(peak);
     // Batch-add to the global counters once per run: the hot loop stays
     // free of shared-cell traffic.
     obs::global().counter("workload.actor_steps").add(steps);
     obs::global().counter("workload.errors").add(errors);
-    obs::global()
-        .counter("workload.events")
-        .add(trace.records().len() as u64);
-    Ok(GeneratedTrace { trace, fs, errors })
+    obs::global().counter("workload.events").add(records);
+    Ok(GeneratedStream {
+        fs,
+        errors,
+        records,
+        live_sessions_peak: peak,
+    })
 }
 
 /// One step of a user actor; returns the next wake time.
@@ -485,5 +628,45 @@ mod tests {
         let mut out = quick(MachineProfile::ucbcad(), 0.25, 11);
         out.fs.check_consistency().unwrap();
         assert_eq!(out.errors, 0);
+    }
+
+    #[test]
+    fn streaming_generation_matches_materialized() {
+        let config = WorkloadConfig {
+            profile: MachineProfile::ucbarpa(),
+            seed: 21,
+            duration_hours: 0.1,
+            ..WorkloadConfig::default()
+        };
+        let batch = generate(&config).unwrap();
+        let mut records: Vec<fstrace::TraceRecord> = Vec::new();
+        let stream = generate_into(&config, &mut records).unwrap();
+        assert_eq!(stream.records as usize, records.len());
+        assert_eq!(batch.trace.records(), records.as_slice());
+        // The sink already received records in time order.
+        assert_eq!(Trace::from_records(records.clone()).records(), &records[..]);
+        assert!(stream.live_sessions_peak >= 1);
+        assert_eq!(stream.errors, batch.errors);
+    }
+
+    #[test]
+    fn streaming_generation_exports_live_session_gauge() {
+        let config = WorkloadConfig {
+            profile: MachineProfile::ucbarpa(),
+            seed: 8,
+            duration_hours: 0.05,
+            ..WorkloadConfig::default()
+        };
+        let mut records: Vec<fstrace::TraceRecord> = Vec::new();
+        let stream = generate_into(&config, &mut records).unwrap();
+        let snap = obs::global().snapshot();
+        assert!(snap
+            .gauge("workload.live_sessions_peak")
+            .is_some_and(|v| v >= stream.live_sessions_peak));
+        // The reorder buffer held far fewer records than the trace:
+        // memory stays bounded by actor concurrency, not trace length.
+        assert!(snap
+            .gauge("fstrace.pipeline.buffered_records_peak")
+            .is_some_and(|v| v > 0 && v < records.len() as u64));
     }
 }

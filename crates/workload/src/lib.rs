@@ -48,6 +48,8 @@ mod namespace;
 mod profile;
 mod rng;
 
-pub use engine::{generate, GeneratedTrace, WorkloadConfig};
+pub use engine::{
+    generate, generate_into, GenerateError, GeneratedStream, GeneratedTrace, WorkloadConfig,
+};
 pub use profile::{CommandKind, MachineProfile};
 pub use rng::Sampler;
