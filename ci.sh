@@ -61,6 +61,24 @@ for key in records total_bytes miss_ratio disk_reads disk_writes; do
 done
 echo "   wrote target/artifacts/BENCH_{streaming,materialized}.json (digests identical)"
 
+echo "== single-pass stack-distance sweep benchmark artifact"
+# One profiled pass vs 24 direct replays of the Table VI grid on the
+# same trace. The binary verifies the two result vectors are identical
+# before printing; the gate additionally requires the profiled sweep to
+# be at least 3x faster and the results flag to read true.
+./target/release/sweepbench --hours 0.25 --seed 1985 --jobs 1 --json \
+    > target/artifacts/BENCH_4.json
+awk -F'[:,]' '
+    /"speedup"/ { speedup = $2 }
+    /"identical"/ { identical = $2 }
+    END {
+        gsub(/[ "]/, "", identical)
+        if (identical != "true") { print "   sweep: results diverged"; exit 1 }
+        if (speedup + 0 < 3) { print "   sweep: speedup " speedup " < 3x"; exit 1 }
+        print "   sweep: identical results, " speedup "x over direct replays"
+    }' target/artifacts/BENCH_4.json
+echo "   wrote target/artifacts/BENCH_4.json"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

@@ -1,11 +1,13 @@
 //! Sweep-engine scaling benchmark: the Table VI 6 x 4 grid simulated
 //! on one worker thread versus all available cores, plus the shared
 //! expansion itself. The two grid timings show the multi-core speedup
-//! (results are bit-identical either way).
+//! (results are bit-identical either way), and the profiled/direct
+//! pair shows the single-pass stack-distance engine against 24
+//! independent replays of the same event stream.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-use cachesim::{replay_events, sweep, CacheConfig, WritePolicy};
+use cachesim::{replay_events, stack, sweep, CacheConfig, WritePolicy};
 use fstrace::Trace;
 use workload::{generate, MachineProfile, WorkloadConfig};
 
@@ -55,6 +57,17 @@ fn bench_sweep(c: &mut Criterion) {
     });
     g.bench_function("expansion_alone", |b| {
         b.iter(|| replay_events(&trace, &grid[0]))
+    });
+    // Single-pass stack-distance profiling versus 24 direct replays,
+    // both on one worker so the comparison is pure algorithm.
+    g.bench_function("table6_profiled_single_pass", |b| {
+        stack::set_enabled(true);
+        b.iter(|| sweep::run_with_jobs(&trace, &grid, 1))
+    });
+    g.bench_function("table6_direct_24_replays", |b| {
+        stack::set_enabled(false);
+        b.iter(|| sweep::run_with_jobs(&trace, &grid, 1));
+        stack::set_enabled(true);
     });
     g.finish();
 }

@@ -5,7 +5,7 @@
 //! insert, touch, and evict, which matters when replaying multi-million-
 //! event traces across dozens of parameter combinations.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use fstrace::FileId;
 
@@ -43,8 +43,11 @@ pub struct BlockCache {
     policy: WritePolicy,
     elision: bool,
     last_flush_ms: u64,
+    /// Number of dirty blocks currently cached, maintained incrementally
+    /// so `dirty_count` is O(1) instead of an O(n) map scan.
+    dirty: usize,
     /// Blocks of each file currently cached, for O(file blocks) delete.
-    per_file: HashMap<FileId, Vec<u64>>,
+    per_file: HashMap<FileId, HashSet<u64>>,
     /// Metrics accumulated across the run.
     pub metrics: CacheMetrics,
 }
@@ -63,6 +66,7 @@ impl BlockCache {
             policy: config.write_policy,
             elision: config.whole_block_elision,
             last_flush_ms: 0,
+            dirty: 0,
             per_file: HashMap::new(),
             metrics: CacheMetrics::default(),
         }
@@ -80,10 +84,15 @@ impl BlockCache {
 
     /// Number of dirty blocks currently cached.
     pub fn dirty_count(&self) -> usize {
-        self.map
-            .values()
-            .filter(|&&i| self.slots[i as usize].dirty)
-            .count()
+        debug_assert_eq!(
+            self.dirty,
+            self.map
+                .values()
+                .filter(|&&i| self.slots[i as usize].dirty)
+                .count(),
+            "incremental dirty counter diverged from the map scan"
+        );
+        self.dirty
     }
 
     // --------------------------------------------------------------
@@ -133,13 +142,14 @@ impl BlockCache {
         self.detach(i);
         let id = self.slots[i as usize].id;
         self.map.remove(&id);
-        if let Some(v) = self.per_file.get_mut(&id.file) {
-            if let Some(p) = v.iter().position(|&b| b == id.block) {
-                v.swap_remove(p);
-            }
-            if v.is_empty() {
+        if let Some(set) = self.per_file.get_mut(&id.file) {
+            set.remove(&id.block);
+            if set.is_empty() {
                 self.per_file.remove(&id.file);
             }
+        }
+        if self.slots[i as usize].dirty {
+            self.dirty -= 1;
         }
         self.free.push(i);
         // Take the slot's fields by replacing with a tombstone.
@@ -175,7 +185,10 @@ impl BlockCache {
             }
         };
         self.map.insert(id, i);
-        self.per_file.entry(id.file).or_default().push(id.block);
+        self.per_file.entry(id.file).or_default().insert(id.block);
+        if dirty {
+            self.dirty += 1;
+        }
         self.push_front(i);
         while self.map.len() as u64 > self.capacity {
             self.evict(now_ms);
@@ -239,13 +252,18 @@ impl BlockCache {
                 self.metrics.disk_writes += 1;
                 self.metrics.blocks_dirtied += 1;
                 self.metrics.dirty_residency_ms.add(0, 1);
-                self.slots[i as usize].dirty = false;
+                let s = &mut self.slots[i as usize];
+                if s.dirty {
+                    s.dirty = false;
+                    self.dirty -= 1;
+                }
             }
             _ => {
                 let s = &mut self.slots[i as usize];
                 if !s.dirty {
                     s.dirty = true;
                     s.dirtied_at = now_ms;
+                    self.dirty += 1;
                     self.metrics.blocks_dirtied += 1;
                 }
             }
@@ -316,6 +334,7 @@ impl BlockCache {
             let s = &mut self.slots[i as usize];
             if s.dirty {
                 s.dirty = false;
+                self.dirty -= 1;
                 self.metrics.disk_writes += 1;
                 let dur = now_ms.saturating_sub(s.dirtied_at);
                 self.metrics.dirty_residency_ms.add(dur, 1);
@@ -497,6 +516,30 @@ mod tests {
         }
         assert_eq!(c.len(), 3);
         assert_eq!(c.metrics.disk_reads, 100);
+    }
+
+    #[test]
+    fn dirty_count_tracks_all_transitions() {
+        let mut c = BlockCache::new(&cfg(2));
+        assert_eq!(c.dirty_count(), 0);
+        c.write(bid(1, 0), true, 0);
+        c.write(bid(1, 1), true, 0);
+        assert_eq!(c.dirty_count(), 2);
+        c.write(bid(1, 0), false, 10); // Re-dirtying is not a transition.
+        assert_eq!(c.dirty_count(), 2);
+        c.read(bid(1, 2), 20); // Evicts a dirty block.
+        assert_eq!(c.dirty_count(), 1);
+        c.flush(30);
+        assert_eq!(c.dirty_count(), 0);
+        c.write(bid(2, 0), true, 40);
+        c.invalidate_file(FileId(2), 50);
+        assert_eq!(c.dirty_count(), 0);
+        // Write-through never leaves blocks dirty.
+        let mut config = cfg(2);
+        config.write_policy = WritePolicy::WriteThrough;
+        let mut wt = BlockCache::new(&config);
+        wt.write(bid(1, 0), true, 0);
+        assert_eq!(wt.dirty_count(), 0);
     }
 
     #[test]

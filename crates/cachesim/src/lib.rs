@@ -58,6 +58,7 @@ mod config;
 mod metrics;
 mod replay;
 mod series;
+pub mod stack;
 pub mod sweep;
 
 pub use cache::{BlockCache, BlockId};
@@ -65,4 +66,5 @@ pub use config::{CacheConfig, Replacement, RwHandling, WritePolicy};
 pub use metrics::CacheMetrics;
 pub use replay::{expansion_count, replay_events, EventExpander, ReplayEvent, Replayer, Simulator};
 pub use series::{MissSeries, SeriesPoint};
+pub use stack::StackEngine;
 pub use sweep::ExpansionKey;

@@ -57,7 +57,8 @@ pub enum ReplayEvent {
 }
 
 impl ReplayEvent {
-    fn time(&self) -> u64 {
+    /// The event's billing time in milliseconds.
+    pub(crate) fn time(&self) -> u64 {
         match *self {
             ReplayEvent::SizeHint { time_ms, .. }
             | ReplayEvent::Transfer { time_ms, .. }

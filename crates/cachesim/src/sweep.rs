@@ -28,6 +28,18 @@
 //! records through the [`crate::EventExpander`] directly into its
 //! simulator, holding O(open files) state.
 //!
+//! Within each expansion group, LRU cells sharing block size, elision,
+//! and invalidation settings differ only in capacity and write policy —
+//! exactly what the [`crate::stack`] profiler derives from **one**
+//! replay via stack distances. The engine partitions each group into
+//! such profile subgroups (two or more cells each) plus the remaining
+//! *direct* cells (FIFO replacement, partnerless parameter combos),
+//! turning an S-size × P-policy grid from S×P replays into one profiled
+//! pass plus the fallback cells. A group consisting of a single profile
+//! subgroup streams records straight into the profiler; mixed groups
+//! materialize the event vector once and run subgroups and direct cells
+//! side by side on the thread pool.
+//!
 //! The engine is dependency-free: plain [`std::thread::scope`] workers
 //! pulling indices from an atomic counter, defaulting to
 //! [`std::thread::available_parallelism`] threads.
@@ -40,6 +52,7 @@ use fstrace::{Trace, TraceRecord};
 use crate::config::{CacheConfig, RwHandling};
 use crate::metrics::CacheMetrics;
 use crate::replay::{EventExpander, ReplayEvent, Simulator};
+use crate::stack;
 
 /// The subset of [`CacheConfig`] that [`replay_events`] depends on.
 ///
@@ -149,15 +162,72 @@ where
     }
 
     let mut slots: Vec<Option<CacheMetrics>> = vec![None; configs.len()];
+    let mut profiled_cells = 0u64;
+    let mut fallback_cells = 0u64;
     for (_, idxs) in &groups {
         if let [i] = idxs.as_slice() {
             // A lone cell consumes the expansion exactly once: stream
-            // records through the expander with no event buffering.
+            // records through the expander with no event buffering. A
+            // profile of one cell would save nothing, so this counts
+            // as a fallback when profiling is on.
             slots[*i] = Some(timed_cell(&cell_span, &cell_us, || {
                 Simulator::run_stream(source(), &configs[*i])
             }));
+            if stack::enabled() {
+                fallback_cells += 1;
+            }
             continue;
         }
+
+        // Partition the group into stack-profile subgroups (cells that
+        // differ only in capacity and write policy — two or more each)
+        // and the direct remainder.
+        let mut direct: Vec<usize> = Vec::new();
+        let mut subgroups: Vec<((u64, bool, bool), Vec<usize>)> = Vec::new();
+        if stack::enabled() {
+            for &i in idxs {
+                let c = &configs[i];
+                if stack::profilable(c) {
+                    let key = (c.block_size, c.whole_block_elision, c.invalidate_on_delete);
+                    match subgroups.iter_mut().find(|(k, _)| *k == key) {
+                        Some((_, cells)) => cells.push(i),
+                        None => subgroups.push((key, vec![i])),
+                    }
+                } else {
+                    direct.push(i);
+                }
+            }
+            subgroups.retain(|(_, cells)| {
+                if cells.len() >= 2 {
+                    true
+                } else {
+                    direct.extend_from_slice(cells);
+                    false
+                }
+            });
+            direct.sort_unstable();
+        } else {
+            direct.clone_from(idxs);
+        }
+        profiled_cells += subgroups.iter().map(|(_, c)| c.len() as u64).sum::<u64>();
+        fallback_cells += direct.len() as u64;
+
+        if direct.is_empty() && subgroups.len() == 1 {
+            // The whole group is one profile: stream records straight
+            // through the expander into the profiler — one pass, no
+            // event buffering, every capacity and policy at once.
+            let cell_idxs = &subgroups[0].1;
+            let cells: Vec<CacheConfig> = cell_idxs.iter().map(|&i| configs[i].clone()).collect();
+            let metrics = timed_cells(&cell_span, &cell_us, cells.len(), || {
+                stack::profile_stream(source(), &cells)
+                    .expect("partitioned subgroup cells are jointly profilable")
+            });
+            for (&i, m) in cell_idxs.iter().zip(metrics) {
+                slots[i] = Some(m);
+            }
+            continue;
+        }
+
         // One expansion for the whole group, borrowed by every worker.
         let events: Vec<ReplayEvent> = {
             let mut expander = EventExpander::new(&configs[idxs[0]]);
@@ -167,12 +237,42 @@ where
             }
             out
         };
-        let workers = jobs.max(1).min(idxs.len());
+        // Profile subgroups first: they are the heaviest tasks, so
+        // they should start before the pool fills up with quick cells.
+        enum Task<'a> {
+            Profile(&'a [usize]),
+            Direct(usize),
+        }
+        let tasks: Vec<Task> = subgroups
+            .iter()
+            .map(|(_, cells)| Task::Profile(cells))
+            .chain(direct.iter().map(|&i| Task::Direct(i)))
+            .collect();
+        let run_task = |task: &Task| -> Vec<(usize, CacheMetrics)> {
+            match *task {
+                Task::Direct(i) => vec![(
+                    i,
+                    timed_cell(&cell_span, &cell_us, || {
+                        Simulator::run_events(&events, &configs[i])
+                    }),
+                )],
+                Task::Profile(cell_idxs) => {
+                    let cells: Vec<CacheConfig> =
+                        cell_idxs.iter().map(|&i| configs[i].clone()).collect();
+                    let metrics = timed_cells(&cell_span, &cell_us, cells.len(), || {
+                        stack::profile_events(&events, &cells)
+                            .expect("partitioned subgroup cells are jointly profilable")
+                    });
+                    cell_idxs.iter().copied().zip(metrics).collect()
+                }
+            }
+        };
+        let workers = jobs.max(1).min(tasks.len());
         if workers <= 1 {
-            for &i in idxs {
-                slots[i] = Some(timed_cell(&cell_span, &cell_us, || {
-                    Simulator::run_events(&events, &configs[i])
-                }));
+            for task in &tasks {
+                for (i, m) in run_task(task) {
+                    slots[i] = Some(m);
+                }
             }
             continue;
         }
@@ -184,13 +284,8 @@ where
                         let mut out: Vec<(usize, CacheMetrics)> = Vec::new();
                         loop {
                             let n = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(&i) = idxs.get(n) else { break };
-                            out.push((
-                                i,
-                                timed_cell(&cell_span, &cell_us, || {
-                                    Simulator::run_events(&events, &configs[i])
-                                }),
-                            ));
+                            let Some(task) = tasks.get(n) else { break };
+                            out.extend(run_task(task));
                         }
                         out
                     })
@@ -205,6 +300,12 @@ where
             slots[i] = Some(m);
         }
     }
+    if stack::enabled() {
+        reg.counter("cachesim.stack.profiled_cells")
+            .add(profiled_cells);
+        reg.counter("cachesim.stack.fallback_cells")
+            .add(fallback_cells);
+    }
 
     let out: Vec<(CacheConfig, CacheMetrics)> = configs
         .iter()
@@ -213,6 +314,26 @@ where
         .collect();
     publish_sweep_totals(reg, groups.len(), &out);
     out
+}
+
+/// Runs one profiled subgroup under wall-clock timing, attributing an
+/// equal share of the pass to each of its `cells` cells so per-cell
+/// span counts and histograms stay comparable with direct cells.
+fn timed_cells(
+    span: &obs::Span,
+    hist: &obs::Histogram,
+    cells: usize,
+    run: impl FnOnce() -> Vec<CacheMetrics>,
+) -> Vec<CacheMetrics> {
+    let started = std::time::Instant::now();
+    let metrics = run();
+    let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let share = ns / cells.max(1) as u64;
+    for _ in 0..cells {
+        span.record_ns(share);
+        hist.record(share / 1_000);
+    }
+    metrics
 }
 
 /// Runs one sweep cell under wall-clock timing.
@@ -358,6 +479,65 @@ mod tests {
             let materialized = run_with_jobs(&trace, &configs, jobs);
             assert_eq!(streamed, materialized, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn fifo_cells_fall_back_alongside_profiled_columns() {
+        // LRU capacity columns profile together; FIFO cells (no
+        // inclusion property) and a mismatched-elision singleton run
+        // direct — all in one expansion group, all bit-identical to
+        // sequential simulation.
+        let trace = small_trace();
+        let mut configs = Vec::new();
+        for cache_kb in [32u64, 64, 256] {
+            for policy in [WritePolicy::DelayedWrite, WritePolicy::WriteThrough] {
+                configs.push(CacheConfig {
+                    cache_bytes: cache_kb * 1024,
+                    write_policy: policy,
+                    ..CacheConfig::default()
+                });
+            }
+            configs.push(CacheConfig {
+                cache_bytes: cache_kb * 1024,
+                replacement: crate::Replacement::Fifo,
+                ..CacheConfig::default()
+            });
+        }
+        configs.push(CacheConfig {
+            whole_block_elision: false,
+            ..CacheConfig::default()
+        });
+        for jobs in [1, 3] {
+            let swept = run_with_jobs(&trace, &configs, jobs);
+            for (i, (c, m)) in swept.iter().enumerate() {
+                assert_eq!(*c, configs[i]);
+                assert_eq!(*m, Simulator::run(&trace, c), "jobs={jobs} config {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_configs_each_get_a_result() {
+        let trace = small_trace();
+        let one = CacheConfig::default();
+        let configs = vec![one.clone(), one.clone(), one.clone()];
+        let swept = run_with_jobs(&trace, &configs, 2);
+        let want = Simulator::run(&trace, &one);
+        assert_eq!(swept.len(), 3);
+        for (_, m) in &swept {
+            assert_eq!(*m, want);
+        }
+    }
+
+    #[test]
+    fn disabled_profiling_still_matches() {
+        let trace = small_trace();
+        let configs = grid();
+        let profiled = run_with_jobs(&trace, &configs, 2);
+        crate::stack::set_enabled(false);
+        let direct = run_with_jobs(&trace, &configs, 2);
+        crate::stack::set_enabled(true);
+        assert_eq!(profiled, direct);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the block cache engine and the replay.
 
 use cachesim::{
-    replay_events, sweep, BlockCache, CacheConfig, Replacement, Simulator, WritePolicy,
+    replay_events, stack, sweep, BlockCache, CacheConfig, Replacement, Simulator, WritePolicy,
 };
 use fstrace::{AccessMode, FileId, OpenId, Trace, TraceBuilder, TraceEvent, TraceRecord, UserId};
 use proptest::prelude::*;
@@ -230,6 +230,35 @@ proptest! {
         let batch = Simulator::run_events(&replay_events(&trace, &config), &config);
         let streamed = Simulator::run(&trace, &config);
         prop_assert_eq!(streamed, batch);
+    }
+
+    /// One stack-distance pass reproduces the direct simulator exactly
+    /// — misses, disk I/O, dirty accounting, residency — for every
+    /// write policy at every capacity of the paper's Figure 5 / Table
+    /// VI axis (the 390 kB and 16 MB endpoints in 4 kB blocks) plus
+    /// small capacities that force evictions, pruning, and hole
+    /// consumption on these short random traces.
+    #[test]
+    fn stack_profile_matches_direct_simulation(trace in arb_raw_trace()) {
+        let caps_blocks = [1u64, 2, 3, 5, 8, 13, 97, 4096];
+        let cells: Vec<CacheConfig> = caps_blocks
+            .iter()
+            .flat_map(|&blocks| {
+                WritePolicy::TABLE_VI.into_iter().map(move |policy| CacheConfig {
+                    cache_bytes: blocks * 4096,
+                    block_size: 4096,
+                    write_policy: policy,
+                    ..CacheConfig::default()
+                })
+            })
+            .collect();
+        let events = replay_events(&trace, &cells[0]);
+        let profiled = stack::profile_events(&events, &cells).expect("profilable cells");
+        prop_assert_eq!(profiled.len(), cells.len());
+        for (config, got) in cells.iter().zip(profiled) {
+            let want = Simulator::run(&trace, config);
+            prop_assert_eq!(got, want, "config {:?}", config);
+        }
     }
 
     /// The shared-expansion sweep is bit-identical to simulating each

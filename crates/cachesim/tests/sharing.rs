@@ -62,6 +62,27 @@ fn sweep_expands_once_per_group() {
             grid.len() as u64,
             "jobs={jobs}"
         );
+        assert_eq!(
+            after.counter("cachesim.stack.profiled_cells").unwrap_or(0)
+                - before.counter("cachesim.stack.profiled_cells").unwrap_or(0),
+            grid.len() as u64,
+            "an all-LRU same-block-size grid profiles every cell at jobs={jobs}"
+        );
+        assert_eq!(
+            after.counter("cachesim.stack.fallback_cells").unwrap_or(0)
+                - before.counter("cachesim.stack.fallback_cells").unwrap_or(0),
+            0,
+            "nothing falls back to direct simulation at jobs={jobs}"
+        );
+        assert!(
+            after
+                .counter("cachesim.stack.distances_recorded")
+                .unwrap_or(0)
+                > before
+                    .counter("cachesim.stack.distances_recorded")
+                    .unwrap_or(0),
+            "the profiler must record stack distances at jobs={jobs}"
+        );
         all_results.push(results);
     }
     assert!(
@@ -78,6 +99,8 @@ fn sweep_expands_once_per_group() {
     );
 
     // Block size is consumption-only: mixing block sizes still shares.
+    // Each block size is a partnerless profile subgroup, so all four
+    // cells fall back to direct simulation of the shared event vector.
     let blocks: Vec<CacheConfig> = [1u64, 4, 16, 32]
         .iter()
         .map(|&kb| CacheConfig {
@@ -85,9 +108,21 @@ fn sweep_expands_once_per_group() {
             ..CacheConfig::default()
         })
         .collect();
+    let before_snap = obs::global().snapshot();
     let before = cachesim::expansion_count();
     sweep::run_with_jobs(&trace, &blocks, 4);
     assert_eq!(cachesim::expansion_count() - before, 1);
+    let after_snap = obs::global().snapshot();
+    assert_eq!(
+        after_snap
+            .counter("cachesim.stack.fallback_cells")
+            .unwrap_or(0)
+            - before_snap
+                .counter("cachesim.stack.fallback_cells")
+                .unwrap_or(0),
+        blocks.len() as u64,
+        "singleton block-size subgroups must fall back to direct cells"
+    );
 
     // Paging flips the expansion key: exactly one extra expansion.
     let mut mixed = grid;

@@ -28,13 +28,31 @@ pub struct CdfPoint {
 /// assert_eq!(d.percentile(0.5), Some(20));
 /// assert_eq!(d.total_weight(), 4);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Distribution {
     /// (value, weight) pairs; sorted by value iff `sorted`.
     samples: Vec<(u64, u64)>,
     total_weight: u64,
     sorted: bool,
 }
+
+/// Equality compares the *multiset* of weighted observations: the order
+/// of `add` calls and the coalescing state are irrelevant, so two runs
+/// that record the same residencies through differently ordered code
+/// paths (hash-map iteration, per-capacity derivation) compare equal.
+impl PartialEq for Distribution {
+    fn eq(&self, other: &Self) -> bool {
+        if self.total_weight != other.total_weight {
+            return false;
+        }
+        if self.sorted && other.sorted {
+            return self.samples == other.samples;
+        }
+        self.canonical_samples() == other.canonical_samples()
+    }
+}
+
+impl Eq for Distribution {}
 
 impl Distribution {
     /// Creates an empty distribution.
@@ -84,6 +102,21 @@ impl Distribution {
             self.samples = out;
             self.sorted = true;
         }
+    }
+
+    /// The sorted, coalesced form of the samples without mutating the
+    /// buffer (the basis of order-insensitive equality).
+    fn canonical_samples(&self) -> Vec<(u64, u64)> {
+        let mut v = self.samples.clone();
+        v.sort_unstable();
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+        for (value, weight) in v {
+            match out.last_mut() {
+                Some((lv, lw)) if *lv == value => *lw += weight,
+                _ => out.push((value, weight)),
+            }
+        }
+        out
     }
 
     /// Sorts and coalesces the buffered samples now rather than at the
@@ -193,6 +226,24 @@ mod tests {
         assert_eq!(d.percentile(0.5), None);
         assert_eq!(d.mean(), 0.0);
         assert!(d.cdf().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_add_order_and_coalescing() {
+        let mut a = Distribution::new();
+        a.add(20, 3);
+        a.add(10, 1);
+        a.add(10, 1);
+        let mut b = Distribution::new();
+        b.add(10, 2);
+        b.add(20, 3);
+        assert_eq!(a, b);
+        // Querying one side (which sorts and coalesces it) must not
+        // break equality with the unsorted side.
+        assert_eq!(a.percentile(0.5), Some(20));
+        assert_eq!(a, b);
+        b.add(10, 1);
+        assert_ne!(a, b);
     }
 
     #[test]
