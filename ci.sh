@@ -79,6 +79,88 @@ awk -F'[:,]' '
     }' target/artifacts/BENCH_4.json
 echo "   wrote target/artifacts/BENCH_4.json"
 
+echo "== archive corruption-recovery smoke"
+# Pack a 2-hour trace into a tracestore archive, let archivebench flip
+# one byte in the middle of a mid-file chunk, and require that exactly
+# one chunk is reported corrupt while every record outside it is
+# recovered — and that a Table VI sweep over the archive replay is
+# bit-identical to the in-memory sweep. The binary itself exits
+# nonzero if either check fails; the awk gate re-asserts from the
+# artifact so a silent format change can't slip through.
+./target/release/archivebench --hours 2 --seed 1985 --jobs 4 --json \
+    > target/artifacts/BENCH_archive_smoke.json
+awk -F'[:,]' '
+    /"identical"/ { identical = $2 }
+    /"recovery_ok"/ { ok = $2 }
+    /"corrupt_chunks_skipped"/ { skipped = $2 }
+    /"records_recovered"/ { recovered = $2 }
+    /"pack_mb_s"/ { pack = $2 }
+    /"compression_ratio"/ { ratio = $2 }
+    END {
+        gsub(/[ "]/, "", identical); gsub(/[ "]/, "", ok)
+        if (identical != "true") { print "   archive: sweep diverged"; exit 1 }
+        if (ok != "true") { print "   archive: recovery not isolated"; exit 1 }
+        if (skipped + 0 != 1) { print "   archive: " skipped " chunks skipped, want 1"; exit 1 }
+        print "   archive: 1 chunk lost, " recovered " records recovered, " \
+            pack " MB/s pack, " ratio "x compression"
+    }' target/artifacts/BENCH_archive_smoke.json
+
+# Same drill at the CLI surface: tracefmt verify must exit 0 on a
+# fresh archive and 1 on a vandalized one, naming exactly one chunk.
+SMOKE=target/artifacts/archive_smoke
+rm -rf "$SMOKE" && mkdir -p "$SMOKE"
+./target/release/mktrace a5 --hours 0.2 -o "$SMOKE/a5.fstr" 2>/dev/null
+./target/release/tracefmt pack "$SMOKE/a5.fstr" "$SMOKE/a5.tsa" --chunk-kib 8 2>/dev/null
+./target/release/tracefmt verify "$SMOKE/a5.tsa" >/dev/null
+./target/release/tracefmt unpack "$SMOKE/a5.tsa" "$SMOKE/back.fstr" 2>/dev/null
+cmp "$SMOKE/a5.fstr" "$SMOKE/back.fstr"
+# Flip one byte mid-file (safely inside some chunk's frame): xor with
+# 0x80 so the write is never a no-op.
+SIZE=$(wc -c < "$SMOKE/a5.tsa")
+AT=$((SIZE / 2))
+BYTE=$(od -An -tu1 -j "$AT" -N1 "$SMOKE/a5.tsa" | tr -d ' ')
+printf "\\$(printf '%03o' $(( (BYTE + 128) % 256 )))" \
+    | dd bs=1 count=1 seek="$AT" conv=notrunc of="$SMOKE/a5.tsa" 2>/dev/null
+if ./target/release/tracefmt verify "$SMOKE/a5.tsa" > "$SMOKE/verify.out"; then
+    echo "   archive: verify accepted a corrupt archive"; exit 1
+fi
+BAD=$(grep -c CORRUPT "$SMOKE/verify.out")
+if [ "$BAD" != 1 ]; then
+    echo "   archive: verify reported $BAD bad chunks, want 1"; exit 1
+fi
+echo "   tracefmt: pack/unpack round-trips, verify isolates the bad chunk"
+
+echo "== chunk-parallel archive decode benchmark artifact"
+# Archive replay of the Table VI sweep must be identical to the
+# in-memory path (asserted above and again here), and chunk-parallel
+# decode must be >= 2x faster than single-threaded decode at --jobs 4
+# — but only where that is physically possible. On containers with
+# fewer than 4 cores the threads time-slice one CPU and the speedup
+# clause is vacuous, so the gate degrades to the identity + recovery
+# assertions plus a sanity floor (parallel decode must not be
+# pathologically slower than sequential). The `cores` field in the
+# artifact records which regime applied.
+./target/release/archivebench --hours 0.5 --seed 1985 --jobs 4 --json \
+    > target/artifacts/BENCH_5.json
+awk -F'[:,]' '
+    /"cores"/ { cores = $2 }
+    /"par_speedup"/ { speedup = $2 }
+    /"identical"/ { identical = $2 }
+    /"recovery_ok"/ { ok = $2 }
+    END {
+        gsub(/[ "]/, "", identical); gsub(/[ "]/, "", ok)
+        if (identical != "true") { print "   archive: sweep diverged"; exit 1 }
+        if (ok != "true") { print "   archive: recovery failed"; exit 1 }
+        if (cores + 0 >= 4) {
+            if (speedup + 0 < 2) { print "   archive: parallel decode " speedup "x < 2x on " cores " cores"; exit 1 }
+            print "   archive: parallel decode " speedup "x over sequential (" cores " cores)"
+        } else {
+            if (speedup + 0 < 0.25) { print "   archive: parallel decode pathologically slow (" speedup "x)"; exit 1 }
+            print "   archive: " cores " core(s) — speedup gate waived, identity + recovery hold (" speedup "x)"
+        }
+    }' target/artifacts/BENCH_5.json
+echo "   wrote target/artifacts/BENCH_5.json"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N] [--metrics PATH]
+//!       [--archive DIR]
 //!
 //! EXPERIMENT: all (default) | table1 | table3 | table4 | table5 |
 //!             fig1 | fig2 | fig3 | fig4 | gaps | table6 | table7 |
@@ -15,8 +16,18 @@
 //! sweep timing) to PATH at exit. Experiment output on stdout stays
 //! bit-identical with or without the flag; wall-clock values live only
 //! in the JSON and in per-phase timing lines on stderr.
+//!
+//! --archive DIR caches generated traces as `tracestore` archives
+//! under DIR: the first run with a given --hours/--seed writes them,
+//! later runs replay them (checksummed, chunk-parallel decode) instead
+//! of regenerating. The server experiment also persists its merged
+//! trace there. Experiment output is identical with or without the
+//! cache. The `compare` experiment needs live file-system state that a
+//! replay cannot reconstruct, so runs that include it bypass the cache
+//! with a note.
 //! ```
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use bsdtrace::{experiments, ReproConfig, TraceSet};
@@ -26,6 +37,7 @@ fn main() {
     let mut config = ReproConfig::default();
     let mut metrics_path: Option<String> = None;
     let mut jobs_flag: Option<usize> = None;
+    let mut archive_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -53,9 +65,16 @@ fn main() {
             "--metrics" => {
                 metrics_path = Some(args.next().unwrap_or_else(|| die("--metrics needs a path")));
             }
+            "--archive" => {
+                archive_dir = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--archive needs a directory")),
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N] [--metrics PATH]\n\
+                     \x20      [--archive DIR]\n\
                      experiments: all table1 table3 table4 table5 fig1 fig2 fig3 fig4\n\
                      \x20            gaps table6 table7 fig7 residency compare ablations server"
                 );
@@ -86,13 +105,24 @@ fn main() {
         config.hours,
         config.seed
     );
+    // The compare experiment reads the simulated file system's cache
+    // counters, which only exist after a live workload run — an
+    // archive replay cannot reconstruct them, so runs including it
+    // regenerate.
+    let includes_compare = matches!(which.as_str(), "all" | "compare");
+    if includes_compare && archive_dir.is_some() {
+        eprintln!("note: archive cache bypassed ('{which}' includes compare, which needs live file-system state)");
+    }
+    let trace_cache = archive_dir.as_deref().filter(|_| !includes_compare);
+    let jobs = jobs_flag.unwrap_or_else(cachesim::sweep::default_jobs);
     let gen_started = Instant::now();
     let set = {
         let _timing = obs::global().span("repro.generate_traces").start();
-        if needs_all_traces {
-            TraceSet::generate(&config)
-        } else {
-            TraceSet::generate_a5(&config)
+        match (needs_all_traces, trace_cache) {
+            (true, None) => TraceSet::generate(&config),
+            (true, Some(dir)) => TraceSet::generate_cached(&config, dir, jobs),
+            (false, None) => TraceSet::generate_a5(&config),
+            (false, Some(dir)) => TraceSet::generate_a5_cached(&config, dir, jobs),
         }
     }
     .unwrap_or_else(|e| die(&format!("trace generation failed: {e}")));
@@ -131,7 +161,13 @@ fn main() {
             "residency" => println!("{}\n", experiments::residency::run(&set)),
             "compare" => println!("{}\n", experiments::comparisons::run(&set)),
             "ablations" => println!("{}\n", experiments::ablations::run(&set)),
-            "server" => println!("{}\n", experiments::server::run(&set)),
+            "server" => match &archive_dir {
+                Some(dir) => {
+                    let path = bsdtrace::archive::trace_path(dir, "server-merged", &config);
+                    println!("{}\n", experiments::server::run_archived(&set, &path, jobs));
+                }
+                None => println!("{}\n", experiments::server::run(&set)),
+            },
             other => die(&format!("unknown experiment {other}")),
         }
         eprintln!("  [timing] {name}: {:.1} ms", ms(started));
@@ -163,7 +199,6 @@ fn main() {
     }
 
     if let Some(path) = metrics_path {
-        let jobs = jobs_flag.unwrap_or_else(cachesim::sweep::default_jobs);
         let mut meta = vec![
             ("experiment", which.clone()),
             ("hours", format!("{}", config.hours)),

@@ -9,10 +9,12 @@
 //! carry — and size its cache.
 
 use std::fmt;
+use std::path::Path;
 
 use cachesim::{sweep, CacheConfig, WritePolicy};
-use fstrace::{merged_records, Trace};
+use fstrace::{merged_records, Trace, TraceRecord};
 
+use crate::archive;
 use crate::chart::{render, Curve};
 use crate::report::{pct, Table};
 use crate::TraceSet;
@@ -68,7 +70,70 @@ pub fn run(set: &TraceSet) -> Server {
             ids.len() as u64
         })
         .sum();
-    let configs: Vec<CacheConfig> = CACHE_MB
+    let configs = server_configs();
+    let results = sweep::run_source(
+        || merged_records(&traces).map(|r| r.expect("in-memory merge cannot fail")),
+        &configs,
+        sweep::default_jobs(),
+    );
+    Server {
+        clients: traces.len(),
+        records,
+        users,
+        points: points_from(&results),
+    }
+}
+
+/// Archive-backed variant of [`run`]: the merged server trace is
+/// persisted to `path` on first use and replayed from it afterwards.
+///
+/// On a cache miss the streaming merge runs once to build the archive;
+/// on a hit the merge is skipped entirely and the archive's chunks are
+/// decoded in parallel with `jobs` workers. Either way the sweep sees
+/// the identical record sequence, so the report matches [`run`]
+/// exactly. A damaged archive is a miss: it is re-merged and
+/// rewritten, never partially trusted.
+pub fn run_archived(set: &TraceSet, path: &Path, jobs: usize) -> Server {
+    let merged: Trace = match archive::load_trace(path, jobs) {
+        Some(trace) => {
+            eprintln!("  server: merged trace replayed from {}", path.display());
+            trace
+        }
+        None => {
+            let traces: Vec<&Trace> = set.entries.iter().map(|e| &e.out.trace).collect();
+            let records: Vec<TraceRecord> = merged_records(&traces)
+                .map(|r| r.expect("in-memory merge cannot fail"))
+                .collect();
+            let trace = Trace::from_records(records);
+            archive::store_trace(path, "server-merged", &trace);
+            eprintln!("  server: merged trace archived to {}", path.display());
+            trace
+        }
+    };
+    // Disjoint id remapping makes user ids unique across clients, so
+    // counting them on the merged stream equals [`run`]'s per-client
+    // sum.
+    let mut users: Vec<u32> = merged
+        .records()
+        .iter()
+        .filter_map(|r| r.event.user_id())
+        .map(|u| u.0)
+        .collect();
+    users.sort_unstable();
+    users.dedup();
+    let configs = server_configs();
+    let results = sweep::run_source(|| merged.records(), &configs, jobs);
+    Server {
+        clients: set.entries.len(),
+        records: merged.len(),
+        users: users.len() as u64,
+        points: points_from(&results),
+    }
+}
+
+/// The cache-size × write-policy grid both entry points sweep.
+fn server_configs() -> Vec<CacheConfig> {
+    CACHE_MB
         .iter()
         .flat_map(|&mb| {
             [
@@ -85,13 +150,11 @@ pub fn run(set: &TraceSet) -> Server {
                 ..CacheConfig::default()
             })
         })
-        .collect();
-    let results = sweep::run_source(
-        || merged_records(&traces).map(|r| r.expect("in-memory merge cannot fail")),
-        &configs,
-        sweep::default_jobs(),
-    );
-    let points = results
+        .collect()
+}
+
+fn points_from(results: &[(CacheConfig, cachesim::CacheMetrics)]) -> Vec<Point> {
+    results
         .chunks(2)
         .zip(CACHE_MB)
         .map(|(pair, mb)| Point {
@@ -99,13 +162,7 @@ pub fn run(set: &TraceSet) -> Server {
             miss_ratio: pair[0].1.miss_ratio(),
             miss_ratio_flush: pair[1].1.miss_ratio(),
         })
-        .collect();
-    Server {
-        clients: traces.len(),
-        records,
-        users,
-        points,
-    }
+        .collect()
 }
 
 impl Server {

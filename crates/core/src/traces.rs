@@ -1,10 +1,13 @@
 //! Standard trace generation shared by every experiment.
 
+use std::path::Path;
 use std::sync::OnceLock;
 
-use bsdfs::FsResult;
+use bsdfs::{Fs, FsResult};
 use fsanalysis::{run_analyzers, AnalysisSuite};
 use workload::{generate, GeneratedTrace, MachineProfile, WorkloadConfig};
+
+use crate::archive;
 
 /// Reproduction parameters: how much simulated time to trace, and the
 /// master seed.
@@ -108,6 +111,73 @@ impl TraceSet {
     /// Panics if the set is empty (cannot happen for generated sets).
     pub fn a5(&self) -> &TraceEntry {
         &self.entries[0]
+    }
+
+    /// Like [`TraceSet::generate`], but backed by a `tracestore`
+    /// archive cache under `dir`: a trace whose archive is present and
+    /// intact is replayed (chunk-parallel) instead of regenerated, and
+    /// fresh generations are archived for the next run.
+    ///
+    /// A replayed entry carries a pristine file system — the workload
+    /// never ran, so there is no cache state to report. The `compare`
+    /// experiment needs that state and must use [`TraceSet::generate`];
+    /// `repro` enforces this.
+    pub fn generate_cached(config: &ReproConfig, dir: &Path, jobs: usize) -> FsResult<Self> {
+        let mut entries = Vec::new();
+        for profile in MachineProfile::all() {
+            entries.push(Self::entry_cached(profile, config, dir, jobs)?);
+        }
+        Ok(TraceSet { entries })
+    }
+
+    /// Archive-cached counterpart of [`TraceSet::generate_a5`].
+    pub fn generate_a5_cached(config: &ReproConfig, dir: &Path, jobs: usize) -> FsResult<Self> {
+        Ok(TraceSet {
+            entries: vec![Self::entry_cached(
+                MachineProfile::ucbarpa(),
+                config,
+                dir,
+                jobs,
+            )?],
+        })
+    }
+
+    fn entry_cached(
+        profile: MachineProfile,
+        config: &ReproConfig,
+        dir: &Path,
+        jobs: usize,
+    ) -> FsResult<TraceEntry> {
+        let name = profile.trace_name.to_string();
+        let machine = profile.name.to_string();
+        let path = archive::trace_path(dir, &name, config);
+        let workload_config = WorkloadConfig {
+            profile,
+            seed: config.seed,
+            duration_hours: config.hours,
+            ..WorkloadConfig::default()
+        };
+        let out = match archive::load_trace(&path, jobs) {
+            Some(trace) => {
+                eprintln!("  {name}: replayed from {}", path.display());
+                GeneratedTrace {
+                    trace,
+                    fs: Fs::new(workload_config.fs_params.clone())?,
+                    errors: 0,
+                }
+            }
+            None => {
+                let out = generate(&workload_config)?;
+                archive::store_trace(&path, &name, &out.trace);
+                out
+            }
+        };
+        Ok(TraceEntry {
+            name,
+            machine,
+            out,
+            analysis: OnceLock::new(),
+        })
     }
 }
 

@@ -179,13 +179,19 @@ impl AnalysisStream {
 /// the streaming equivalent of calling each `analyze(...)` entry point
 /// separately — and produces bit-identical results, because those entry
 /// points are wrappers over the same builders.
-pub fn run_analyzers<'a, I>(records: I, window_secs: &[u64]) -> AnalysisSuite
+///
+/// Accepts borrowed or owned records (anything
+/// `Borrow<TraceRecord>`), so both `Trace::records()` and decoded
+/// archive streams feed it directly.
+pub fn run_analyzers<I>(records: I, window_secs: &[u64]) -> AnalysisSuite
 where
-    I: IntoIterator<Item = &'a TraceRecord>,
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<TraceRecord>,
 {
+    use std::borrow::Borrow;
     let mut stream = AnalysisStream::new(window_secs);
     for rec in records {
-        stream.observe(rec);
+        stream.observe(rec.borrow());
     }
     stream.finish()
 }

@@ -70,8 +70,29 @@ pub enum DecodeError {
     BadVersion(u8),
     /// An unknown record tag was encountered.
     BadTag(u8),
-    /// A varint was malformed or truncated.
+    /// A varint was malformed (continuation bits past 64 bits of value).
     BadVarint,
+    /// The stream ended in the middle of a record.
+    ///
+    /// `offset` is the byte position of the failure and `records` the
+    /// number of records successfully decoded before it. Low-level
+    /// buffer decoders ([`get_varint`], [`decode_from`]) report offsets
+    /// relative to the buffer they were given; [`TraceReader`] and the
+    /// `tracestore` archive reader rewrite them to absolute stream
+    /// positions, so a diagnostic names exactly where the damage is.
+    Truncated {
+        /// Byte offset of the first byte that could not be decoded.
+        offset: u64,
+        /// Records successfully decoded before the failure.
+        records: u64,
+    },
+    /// An archive chunk failed its integrity check (`tracestore`).
+    CorruptChunk {
+        /// Zero-based index of the chunk within the archive.
+        index: u64,
+        /// Byte offset of the chunk header in the archive file.
+        offset: u64,
+    },
     /// A field held an out-of-range value (e.g. an unknown access mode).
     BadField(&'static str),
     /// A text line could not be parsed.
@@ -86,6 +107,15 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
             DecodeError::BadTag(t) => write!(f, "unknown record tag {t}"),
             DecodeError::BadVarint => write!(f, "malformed varint"),
+            DecodeError::Truncated { offset, records } => write!(
+                f,
+                "truncated record stream at byte offset {offset} (after {records} \
+                 complete records)"
+            ),
+            DecodeError::CorruptChunk { index, offset } => write!(
+                f,
+                "archive chunk {index} at byte offset {offset} failed its integrity check"
+            ),
             DecodeError::BadField(name) => write!(f, "invalid field: {name}"),
             DecodeError::BadLine(line) => write!(f, "unparseable text record: {line:?}"),
         }
@@ -120,11 +150,18 @@ pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Reads an LEB128 varint from `buf` starting at `*pos`.
+///
+/// Running out of bytes yields [`DecodeError::Truncated`] with a
+/// buffer-relative offset (and `records: 0`); callers with stream
+/// context rewrite both fields.
 pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let &byte = buf.get(*pos).ok_or(DecodeError::BadVarint)?;
+        let &byte = buf.get(*pos).ok_or(DecodeError::Truncated {
+            offset: *pos as u64,
+            records: 0,
+        })?;
         *pos += 1;
         if shift >= 64 {
             return Err(DecodeError::BadVarint);
@@ -280,7 +317,10 @@ pub fn decode_from(
     pos: &mut usize,
     prev_ticks: u64,
 ) -> Result<(TraceRecord, u64), DecodeError> {
-    let &tag = buf.get(*pos).ok_or(DecodeError::BadVarint)?;
+    let &tag = buf.get(*pos).ok_or(DecodeError::Truncated {
+        offset: *pos as u64,
+        records: 0,
+    })?;
     *pos += 1;
     let dt = get_varint(buf, pos)?;
     let ticks = prev_ticks + dt;
@@ -439,6 +479,11 @@ pub struct TraceReader<R: Read> {
     /// Set after the first error; a malformed record cannot be
     /// resynchronized, so the reader yields nothing afterwards.
     failed: bool,
+    /// Absolute stream offset of `buf[start]` — header plus every byte
+    /// decoded so far. Errors report positions relative to this.
+    consumed: u64,
+    /// Records decoded so far, for truncation diagnostics.
+    records: u64,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -451,6 +496,8 @@ impl<R: Read> TraceReader<R> {
             prev_ticks: 0,
             eof: false,
             failed: false,
+            consumed: (MAGIC.len() + 1) as u64,
+            records: 0,
         };
         r.refill()?;
         if r.buf.len() < MAGIC.len() + 1 || r.buf[..4] != MAGIC {
@@ -508,14 +555,36 @@ impl<R: Read> TraceReader<R> {
                 let c = codec_counters();
                 c.records_decoded.inc();
                 c.bytes_decoded.add((pos - self.start) as u64);
+                self.consumed += (pos - self.start) as u64;
+                self.records += 1;
                 self.start = pos;
                 Some(Ok(rec))
             }
             Err(e) => {
                 self.failed = true;
+                // Rewrite buffer-relative truncation positions into
+                // absolute stream offsets plus the running record count.
+                let e = match e {
+                    DecodeError::Truncated { offset, .. } => DecodeError::Truncated {
+                        offset: self.consumed + (offset - self.start as u64),
+                        records: self.records,
+                    },
+                    other => other,
+                };
                 Some(Err(e))
             }
         }
+    }
+
+    /// Absolute byte offset of the next undecoded byte: the header plus
+    /// every record decoded so far.
+    pub fn byte_offset(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Records successfully decoded so far.
+    pub fn records_decoded(&self) -> u64 {
+        self.records
     }
 
     /// Decodes every remaining record.
@@ -874,7 +943,48 @@ mod tests {
         drop(w);
         out.pop(); // Chop the last record mid-payload.
         let got = TraceReader::new(&out[..]).unwrap().read_all();
-        assert!(matches!(got, Err(DecodeError::BadVarint)));
+        assert!(matches!(got, Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn truncation_error_reports_position_and_record_count() {
+        let records = sample_records();
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        drop(w);
+        let full_len = out.len() as u64;
+        out.pop();
+        let mut r = TraceReader::new(&out[..]).unwrap();
+        let mut decoded = 0u64;
+        let err = loop {
+            match r.next_record() {
+                Some(Ok(_)) => decoded += 1,
+                Some(Err(e)) => break e,
+                None => panic!("truncated stream must error, not end"),
+            }
+        };
+        // The last record is chopped: everything before it decodes, and
+        // the error names the record count and the offset where the
+        // incomplete record begins (somewhere inside the final record).
+        assert_eq!(decoded, records.len() as u64 - 1);
+        match err {
+            DecodeError::Truncated { offset, records: n } => {
+                assert_eq!(n, decoded);
+                assert_eq!(n, r.records_decoded());
+                assert!(offset >= r.byte_offset());
+                assert!(offset < full_len, "offset {offset} beyond file {full_len}");
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        let msg = DecodeError::Truncated {
+            offset: 42,
+            records: 7,
+        }
+        .to_string();
+        assert!(msg.contains("42") && msg.contains("7"), "{msg}");
     }
 
     #[test]

@@ -438,6 +438,50 @@ mod tests {
     }
 
     #[test]
+    fn merge_four_way_ties_match_materialized_merge_byte_for_byte() {
+        // Four inputs whose records all land on two 10 ms-quantized
+        // ticks: opens at 130–132 ms (all tick 13) and closes at
+        // 139/140 ms (ticks 13 and 14), so cross-input timestamp
+        // collisions are the norm, not the exception. Tie-breaking must
+        // be deterministic — input order first, then each input's own
+        // order — and must match what materializing the merge (concat +
+        // remap + stable sort) produces, down to the encoded bytes.
+        let make = |opens: u64| {
+            let mut b = TraceBuilder::new();
+            let u = b.new_user_id();
+            for i in 0..opens {
+                let f = b.new_file_id();
+                // Same quantized tick for every input, different raw ms.
+                let o = b.open(130 + (i % 3), f, u, AccessMode::ReadOnly, 512, false);
+                b.close(139 + (i % 2), o, 512);
+            }
+            b.finish()
+        };
+        let traces = [make(3), make(2), make(4), make(1)];
+        let refs: Vec<&Trace> = traces.iter().collect();
+        let streamed: Vec<TraceRecord> = merged_records(&refs)
+            .map(|r| r.expect("in-memory merge is infallible"))
+            .collect();
+        let materialized = Trace::merge(&traces);
+        assert_eq!(streamed, materialized.records());
+        // Byte-for-byte: the streamed sequence encodes to exactly the
+        // materialized trace's binary form.
+        assert_eq!(
+            Trace::from_records(streamed).to_binary(),
+            materialized.to_binary()
+        );
+        // And the tie order is the documented one: all records share
+        // one of two quantized ticks, so the merge's only freedom is
+        // the tie-break.
+        let ticks: std::collections::BTreeSet<u64> = materialized
+            .records()
+            .iter()
+            .map(|r| r.time.as_ticks())
+            .collect();
+        assert_eq!(ticks.len(), 2, "every record sits on a tied tick");
+    }
+
+    #[test]
     fn merge_of_nothing_is_empty() {
         assert_eq!(merged_records(&[]).count(), 0);
     }

@@ -1,0 +1,483 @@
+//! [`Archive`]: opens, verifies, recovers, and decodes archives.
+//!
+//! Opening is a two-tier affair. The fast path trusts the footer: read
+//! the 12-byte trailer, checksum the body, and the chunk index is
+//! available without touching a single chunk. When the trailer or body
+//! is missing or corrupt (a crashed writer, a truncated copy, bit rot
+//! in the index itself), [`Archive::open`] falls back to a *scan*: walk
+//! the file for the chunk magic, validate each candidate frame by CRC,
+//! and rebuild the index from what survives. False positives are
+//! rejected by the checksum, so a successful scan recovers every intact
+//! chunk and reports precisely what it could not place.
+//!
+//! Chunk damage at read time is handled per [`Corruption`]: `Fail`
+//! surfaces the first bad chunk as a [`DecodeError::CorruptChunk`];
+//! `Skip` drops exactly that chunk's records, counts them in the
+//! [`RecoveryReport`], and resumes at the next chunk — the neighbours
+//! are untouched because every chunk decodes independently.
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use fstrace::codec::{decode_from, DecodeError};
+use fstrace::TraceRecord;
+
+use crate::compress::decompress;
+use crate::crc32::crc32;
+use crate::format::{
+    chunk_crc, decode_chunk_header, decode_footer, ArchiveMeta, ChunkInfo, ARCHIVE_MAGIC,
+    ARCHIVE_VERSION, CHUNK_HEADER_LEN, CHUNK_MAGIC, FOOTER_MAGIC, HEADER_LEN, TRAILER_LEN,
+};
+
+/// What a reader does when a chunk fails verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Surface the first bad chunk as an error and stop.
+    Fail,
+    /// Skip the bad chunk, count the loss, continue with the next.
+    Skip,
+}
+
+/// One damaged chunk, as reported by recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BadChunk {
+    /// Index of the chunk in the archive's chunk sequence.
+    pub index: u64,
+    /// File offset of the chunk's frame.
+    pub offset: u64,
+    /// Records the chunk claimed to hold (all lost).
+    pub records_lost: u64,
+}
+
+/// Exactly what a recovering read lost: which chunks, how many records.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Chunks skipped because they failed verification.
+    pub bad_chunks: Vec<BadChunk>,
+    /// Whether the footer was unusable and the index was rebuilt by
+    /// scanning for chunk frames.
+    pub footer_rebuilt: bool,
+}
+
+impl RecoveryReport {
+    /// Number of chunks lost.
+    pub fn chunks_skipped(&self) -> u64 {
+        self.bad_chunks.len() as u64
+    }
+
+    /// Total records lost across all skipped chunks.
+    pub fn records_lost(&self) -> u64 {
+        self.bad_chunks.iter().map(|b| b.records_lost).sum()
+    }
+
+    /// True when nothing was lost and the footer was intact.
+    pub fn is_clean(&self) -> bool {
+        self.bad_chunks.is_empty() && !self.footer_rebuilt
+    }
+}
+
+/// Errors from [`Archive::open`].
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file is not an archive (bad magic) or an unknown version.
+    Format(DecodeError),
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive i/o error: {e}"),
+            ArchiveError::Format(e) => write!(f, "archive format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<std::io::Error> for ArchiveError {
+    fn from(e: std::io::Error) -> Self {
+        ArchiveError::Io(e)
+    }
+}
+
+/// An opened archive: the raw bytes plus a verified (or rebuilt) chunk
+/// index. Chunk payloads stay in their stored, possibly compressed form
+/// until a read decodes them, so holding an archive costs its on-disk
+/// size, not its decoded size.
+pub struct Archive {
+    bytes: Vec<u8>,
+    meta: ArchiveMeta,
+    chunks: Vec<ChunkInfo>,
+    footer_rebuilt: bool,
+}
+
+impl Archive {
+    /// Opens an archive file. See [`Archive::from_bytes`].
+    pub fn open(path: &Path) -> Result<Archive, ArchiveError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Archive::from_bytes(bytes)
+    }
+
+    /// Opens an archive held in memory. Fails only when the file header
+    /// itself is wrong — everything after the header is subject to
+    /// recovery, not rejection: a bad footer triggers a rebuilding
+    /// scan, and bad chunks are dealt with at read time.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Archive, ArchiveError> {
+        if bytes.len() < HEADER_LEN || bytes[..4] != ARCHIVE_MAGIC {
+            return Err(ArchiveError::Format(DecodeError::BadMagic));
+        }
+        if bytes[4] != ARCHIVE_VERSION {
+            return Err(ArchiveError::Format(DecodeError::BadVersion(bytes[4])));
+        }
+        let (meta, chunks, footer_rebuilt) = match read_footer(&bytes) {
+            Some((meta, chunks)) => (meta, chunks, false),
+            None => {
+                let chunks = scan_chunks(&bytes);
+                let meta = ArchiveMeta {
+                    name: String::new(),
+                    total_records: chunks.iter().map(|c| c.records as u64).sum(),
+                    ..ArchiveMeta::default()
+                };
+                (meta, chunks, true)
+            }
+        };
+        Ok(Archive {
+            bytes,
+            meta,
+            chunks,
+            footer_rebuilt,
+        })
+    }
+
+    /// Per-trace metadata from the footer. After a footer rebuild the
+    /// name and max-id fields are empty/zero — only chunk-derived
+    /// totals are known.
+    pub fn meta(&self) -> &ArchiveMeta {
+        &self.meta
+    }
+
+    /// The chunk index (verified footer or rebuilt by scan).
+    pub fn chunks(&self) -> &[ChunkInfo] {
+        &self.chunks
+    }
+
+    /// Whether the footer was unusable and the index was rebuilt.
+    pub fn footer_rebuilt(&self) -> bool {
+        self.footer_rebuilt
+    }
+
+    /// Archive size in bytes as held in memory.
+    pub fn byte_len(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Verifies and decodes one chunk by index.
+    fn decode_chunk(&self, index: usize) -> Result<Vec<TraceRecord>, DecodeError> {
+        let info = &self.chunks[index];
+        let corrupt = || DecodeError::CorruptChunk {
+            index: index as u64,
+            offset: info.offset,
+        };
+        let start = info.offset as usize;
+        let payload_at = start + CHUNK_HEADER_LEN;
+        let end = payload_at + info.stored_len as usize;
+        let frame = self.bytes.get(start..end).ok_or_else(corrupt)?;
+        // Re-parse the on-disk header and require it to agree with the
+        // index entry: a footer-sourced index must also match the file.
+        let on_disk = decode_chunk_header(frame, info.offset).ok_or_else(corrupt)?;
+        if on_disk != *info {
+            return Err(corrupt());
+        }
+        let payload = &frame[CHUNK_HEADER_LEN..];
+        if chunk_crc(info, payload) != info.crc {
+            return Err(corrupt());
+        }
+        let raw_storage;
+        let raw: &[u8] = if info.compressed {
+            raw_storage = decompress(payload, info.raw_len as usize).map_err(|_| corrupt())?;
+            &raw_storage
+        } else {
+            payload
+        };
+        let mut records = Vec::with_capacity(info.records as usize);
+        let mut pos = 0usize;
+        let mut prev_ticks = 0u64;
+        while pos < raw.len() {
+            let (rec, ticks) = decode_from(raw, &mut pos, prev_ticks).map_err(|_| corrupt())?;
+            prev_ticks = ticks;
+            records.push(rec);
+        }
+        if records.len() != info.records as usize {
+            return Err(corrupt());
+        }
+        Ok(records)
+    }
+
+    /// Iterates all records sequentially under the given corruption
+    /// policy. The iterator's [`ArchiveRecords::report`] says what was
+    /// skipped once iteration ends.
+    pub fn records(&self, mode: Corruption) -> ArchiveRecords<'_> {
+        self.records_for_chunks(0..self.chunks.len(), mode)
+    }
+
+    /// Iterates the records of the chunks whose time ranges intersect
+    /// `[start_ticks, end_ticks]` (inclusive, in 10 ms ticks). The
+    /// footer index makes this a seek: chunks outside the range are
+    /// never read, let alone decoded. Records inside a selected chunk
+    /// but outside the range are still yielded — chunk granularity is
+    /// the contract; callers wanting exact bounds filter the tail.
+    pub fn records_in_ticks(
+        &self,
+        start_ticks: u64,
+        end_ticks: u64,
+        mode: Corruption,
+    ) -> ArchiveRecords<'_> {
+        let sel: Vec<usize> = (0..self.chunks.len())
+            .filter(|&i| self.chunks[i].overlaps_ticks(start_ticks, end_ticks))
+            .collect();
+        ArchiveRecords::new(self, sel, mode)
+    }
+
+    fn records_for_chunks(
+        &self,
+        chunks: impl IntoIterator<Item = usize>,
+        mode: Corruption,
+    ) -> ArchiveRecords<'_> {
+        ArchiveRecords::new(self, chunks.into_iter().collect(), mode)
+    }
+
+    /// Decodes the whole archive into memory, skipping damaged chunks,
+    /// and reports what was lost. Single-threaded; see
+    /// [`Archive::decode_parallel`] for the multi-worker variant.
+    pub fn read_all(&self) -> (Vec<TraceRecord>, RecoveryReport) {
+        let mut out = Vec::with_capacity(self.meta.total_records as usize);
+        let mut report = RecoveryReport {
+            footer_rebuilt: self.footer_rebuilt,
+            ..RecoveryReport::default()
+        };
+        for i in 0..self.chunks.len() {
+            match self.decode_chunk(i) {
+                Ok(recs) => out.extend(recs),
+                Err(_) => report.bad_chunks.push(BadChunk {
+                    index: i as u64,
+                    offset: self.chunks[i].offset,
+                    records_lost: self.chunks[i].records as u64,
+                }),
+            }
+        }
+        publish_read_metrics(self, &report);
+        (out, report)
+    }
+
+    /// Decodes the whole archive with `jobs` workers, each claiming
+    /// chunks off a shared counter — the same work-stealing shape as
+    /// the cache simulator's sweep engine. Chunks are independent by
+    /// construction (per-chunk delta base), so workers never
+    /// coordinate; results are stitched back in chunk order, making the
+    /// output identical to [`Archive::read_all`] for any `jobs`.
+    pub fn decode_parallel(&self, jobs: usize) -> (Vec<TraceRecord>, RecoveryReport) {
+        let workers = jobs.max(1).min(self.chunks.len().max(1));
+        if workers <= 1 {
+            return self.read_all();
+        }
+        type Slot = Mutex<Option<Result<Vec<TraceRecord>, ()>>>;
+        let slots: Vec<Slot> = (0..self.chunks.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= self.chunks.len() {
+                        break;
+                    }
+                    let res = self.decode_chunk(i).map_err(|_| ());
+                    *slots[i].lock().expect("decode slot poisoned") = Some(res);
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(self.meta.total_records as usize);
+        let mut report = RecoveryReport {
+            footer_rebuilt: self.footer_rebuilt,
+            ..RecoveryReport::default()
+        };
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().expect("decode slot poisoned") {
+                Some(Ok(recs)) => out.extend(recs),
+                Some(Err(())) | None => report.bad_chunks.push(BadChunk {
+                    index: i as u64,
+                    offset: self.chunks[i].offset,
+                    records_lost: self.chunks[i].records as u64,
+                }),
+            }
+        }
+        publish_read_metrics(self, &report);
+        (out, report)
+    }
+}
+
+/// Emits read-side counters for one full-archive decode pass.
+fn publish_read_metrics(archive: &Archive, report: &RecoveryReport) {
+    let reg = obs::global();
+    reg.counter("tracestore.bytes_read").add(archive.byte_len());
+    reg.counter("tracestore.chunks_read")
+        .add(archive.chunks.len() as u64 - report.chunks_skipped());
+    reg.counter("tracestore.chunks_skipped_corrupt")
+        .add(report.chunks_skipped());
+    reg.counter("tracestore.records_read").add(
+        archive
+            .meta
+            .total_records
+            .saturating_sub(report.records_lost()),
+    );
+}
+
+/// Sequential record iterator over a chunk selection; yields
+/// `Result<TraceRecord, DecodeError>`, so it is a
+/// [`fstrace::source::RecordSource`].
+pub struct ArchiveRecords<'a> {
+    archive: &'a Archive,
+    /// Chunk indices still to decode, in order.
+    pending: std::vec::IntoIter<usize>,
+    /// Records of the chunk being drained.
+    current: std::vec::IntoIter<TraceRecord>,
+    mode: Corruption,
+    report: RecoveryReport,
+    /// Set after a `Fail`-mode error: the iterator is fused off.
+    failed: bool,
+}
+
+impl<'a> ArchiveRecords<'a> {
+    fn new(archive: &'a Archive, chunks: Vec<usize>, mode: Corruption) -> Self {
+        ArchiveRecords {
+            archive,
+            pending: chunks.into_iter(),
+            current: Vec::new().into_iter(),
+            mode,
+            report: RecoveryReport {
+                footer_rebuilt: archive.footer_rebuilt,
+                ..RecoveryReport::default()
+            },
+            failed: false,
+        }
+    }
+
+    /// What has been skipped so far (complete once iteration ends).
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+}
+
+impl Iterator for ArchiveRecords<'_> {
+    type Item = Result<TraceRecord, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.failed {
+                return None;
+            }
+            if let Some(rec) = self.current.next() {
+                return Some(Ok(rec));
+            }
+            let i = self.pending.next()?;
+            match self.archive.decode_chunk(i) {
+                Ok(recs) => self.current = recs.into_iter(),
+                Err(e) => {
+                    self.report.bad_chunks.push(BadChunk {
+                        index: i as u64,
+                        offset: self.archive.chunks[i].offset,
+                        records_lost: self.archive.chunks[i].records as u64,
+                    });
+                    obs::global()
+                        .counter("tracestore.chunks_skipped_corrupt")
+                        .inc();
+                    match self.mode {
+                        Corruption::Fail => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                        Corruption::Skip => continue,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reads and verifies the footer; `None` means "fall back to a scan".
+fn read_footer(bytes: &[u8]) -> Option<(ArchiveMeta, Vec<ChunkInfo>)> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return None;
+    }
+    let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    if trailer[8..12] != FOOTER_MAGIC {
+        return None;
+    }
+    let body_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let body_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]) as usize;
+    let body_end = bytes.len() - TRAILER_LEN;
+    let body_start = body_end.checked_sub(body_len)?;
+    if body_start < HEADER_LEN {
+        return None;
+    }
+    let body = &bytes[body_start..body_end];
+    if crc32(body) != body_crc {
+        return None;
+    }
+    let (meta, chunks) = decode_footer(body).ok()?;
+    // The index must describe this file: in-bounds, strictly ordered
+    // frames that all land before the footer body.
+    let mut prev_end = HEADER_LEN as u64;
+    for c in &chunks {
+        if c.offset < prev_end || c.offset + c.frame_len() > body_start as u64 {
+            return None;
+        }
+        prev_end = c.offset + c.frame_len();
+    }
+    Some((meta, chunks))
+}
+
+/// Rebuilds a chunk index by scanning for frame magics and validating
+/// every candidate with its CRC. A candidate that fails validation is
+/// not a chunk — the scan resumes one byte later, so a corrupt chunk's
+/// bytes are combed for the *next* intact frame rather than skipped
+/// blindly.
+fn scan_chunks(bytes: &[u8]) -> Vec<ChunkInfo> {
+    let mut chunks = Vec::new();
+    let mut at = HEADER_LEN;
+    while at + CHUNK_HEADER_LEN <= bytes.len() {
+        // Hunt for the next magic byte-by-byte.
+        let Some(rel) = find_magic(&bytes[at..], &CHUNK_MAGIC) else {
+            break;
+        };
+        let start = at + rel;
+        if start + CHUNK_HEADER_LEN > bytes.len() {
+            break;
+        }
+        let candidate = decode_chunk_header(&bytes[start..], start as u64);
+        let accepted = candidate.and_then(|info| {
+            let end = start + CHUNK_HEADER_LEN + info.stored_len as usize;
+            let payload = bytes.get(start + CHUNK_HEADER_LEN..end)?;
+            (chunk_crc(&info, payload) == info.crc).then_some(info)
+        });
+        match accepted {
+            Some(info) => {
+                at = start + info.frame_len() as usize;
+                chunks.push(info);
+            }
+            None => at = start + 1,
+        }
+    }
+    chunks
+}
+
+/// First offset of `magic` in `haystack`, if any.
+fn find_magic(haystack: &[u8], magic: &[u8; 4]) -> Option<usize> {
+    haystack.windows(magic.len()).position(|w| w == magic)
+}
