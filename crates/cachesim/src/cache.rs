@@ -5,7 +5,7 @@
 //! insert, touch, and evict, which matters when replaying multi-million-
 //! event traces across dozens of parameter combinations.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use fstrace::FileId;
 
@@ -29,6 +29,9 @@ struct Slot {
     dirtied_at: u64,
     prev: u32,
     next: u32,
+    /// Neighbours in the per-file chain (see `per_file`).
+    fprev: u32,
+    fnext: u32,
 }
 
 /// A fixed-capacity cache of disk blocks with LRU or FIFO replacement.
@@ -46,8 +49,10 @@ pub struct BlockCache {
     /// Number of dirty blocks currently cached, maintained incrementally
     /// so `dirty_count` is O(1) instead of an O(n) map scan.
     dirty: usize,
-    /// Blocks of each file currently cached, for O(file blocks) delete.
-    per_file: HashMap<FileId, HashSet<u64>>,
+    /// Head slot of each file's chain of cached blocks, threaded
+    /// through the slab via `fprev`/`fnext` — O(file blocks) delete
+    /// and truncate with no per-file allocation.
+    per_file: HashMap<FileId, u32>,
     /// Metrics accumulated across the run.
     pub metrics: CacheMetrics,
 }
@@ -138,16 +143,44 @@ impl BlockCache {
         }
     }
 
+    /// Links slot `i` at the head of its file's chain.
+    fn file_link(&mut self, i: u32) {
+        let file = self.slots[i as usize].id.file;
+        let old_head = self.per_file.insert(file, i).unwrap_or(NIL);
+        {
+            let s = &mut self.slots[i as usize];
+            s.fprev = NIL;
+            s.fnext = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head as usize].fprev = i;
+        }
+    }
+
+    /// Unlinks slot `i` from its file's chain, dropping the map entry
+    /// when the chain empties.
+    fn file_unlink(&mut self, i: u32) {
+        let (file, fprev, fnext) = {
+            let s = &self.slots[i as usize];
+            (s.id.file, s.fprev, s.fnext)
+        };
+        if fprev != NIL {
+            self.slots[fprev as usize].fnext = fnext;
+        } else if fnext != NIL {
+            self.per_file.insert(file, fnext);
+        } else {
+            self.per_file.remove(&file);
+        }
+        if fnext != NIL {
+            self.slots[fnext as usize].fprev = fprev;
+        }
+    }
+
     fn remove_slot(&mut self, i: u32) -> Slot {
         self.detach(i);
+        self.file_unlink(i);
         let id = self.slots[i as usize].id;
         self.map.remove(&id);
-        if let Some(set) = self.per_file.get_mut(&id.file) {
-            set.remove(&id.block);
-            if set.is_empty() {
-                self.per_file.remove(&id.file);
-            }
-        }
         if self.slots[i as usize].dirty {
             self.dirty -= 1;
         }
@@ -161,6 +194,8 @@ impl BlockCache {
                 dirtied_at: 0,
                 prev: NIL,
                 next: NIL,
+                fprev: NIL,
+                fnext: NIL,
             },
         )
     }
@@ -173,6 +208,8 @@ impl BlockCache {
             dirtied_at: if dirty { now_ms } else { 0 },
             prev: NIL,
             next: NIL,
+            fprev: NIL,
+            fnext: NIL,
         };
         let i = match self.free.pop() {
             Some(i) => {
@@ -185,7 +222,7 @@ impl BlockCache {
             }
         };
         self.map.insert(id, i);
-        self.per_file.entry(id.file).or_default().insert(id.block);
+        self.file_link(i);
         if dirty {
             self.dirty += 1;
         }
@@ -274,37 +311,21 @@ impl BlockCache {
     /// data overwritten wholesale). Dirty blocks vanish without a disk
     /// write — the delayed-write win the paper quantifies.
     pub fn invalidate_file(&mut self, file: FileId, now_ms: u64) {
-        let Some(blocks) = self.per_file.remove(&file) else {
-            return;
-        };
-        for block in blocks {
-            let id = BlockId { file, block };
-            if let Some(&i) = self.map.get(&id) {
-                let slot = self.remove_slot(i);
-                if slot.dirty {
-                    self.metrics.dirty_blocks_never_written += 1;
-                    self.metrics
-                        .dirty_residency_ms
-                        .add(now_ms.saturating_sub(slot.dirtied_at), 1);
-                }
-            }
-        }
+        self.invalidate_beyond(file, 0, now_ms);
     }
 
     /// Drops cached blocks of `file` at indices `>= first_block`
-    /// (truncation).
+    /// (truncation). Walks the file's intrusive chain — no allocation,
+    /// no hashing beyond the single head lookup.
     pub fn invalidate_beyond(&mut self, file: FileId, first_block: u64, now_ms: u64) {
-        let Some(blocks) = self.per_file.get(&file) else {
-            return;
-        };
-        let doomed: Vec<u64> = blocks
-            .iter()
-            .copied()
-            .filter(|&b| b >= first_block)
-            .collect();
-        for block in doomed {
-            let id = BlockId { file, block };
-            if let Some(&i) = self.map.get(&id) {
+        let mut i = self.per_file.get(&file).copied().unwrap_or(NIL);
+        while i != NIL {
+            // Capture the successor before `remove_slot` tombstones it.
+            let (block, fnext) = {
+                let s = &self.slots[i as usize];
+                (s.id.block, s.fnext)
+            };
+            if block >= first_block {
                 let slot = self.remove_slot(i);
                 if slot.dirty {
                     self.metrics.dirty_blocks_never_written += 1;
@@ -313,6 +334,7 @@ impl BlockCache {
                         .add(now_ms.saturating_sub(slot.dirtied_at), 1);
                 }
             }
+            i = fnext;
         }
     }
 
@@ -540,6 +562,27 @@ mod tests {
         let mut wt = BlockCache::new(&config);
         wt.write(bid(1, 0), true, 0);
         assert_eq!(wt.dirty_count(), 0);
+    }
+
+    #[test]
+    fn per_file_chains_survive_interleaved_churn() {
+        // Evictions unlink chain nodes mid-list; slot reuse must not
+        // leave stale fprev/fnext links behind.
+        let mut c = BlockCache::new(&cfg(4));
+        for b in 0..10 {
+            c.read(bid(1, b), b);
+            c.read(bid(2, b), b);
+        }
+        c.invalidate_file(FileId(1), 100);
+        assert_eq!(c.len(), 2);
+        assert!(c.contents_mru().iter().all(|b| b.file == FileId(2)));
+        c.invalidate_beyond(FileId(2), 9, 100);
+        assert_eq!(c.len(), 1);
+        c.invalidate_beyond(FileId(2), 100, 100); // No-op beyond the end.
+        assert_eq!(c.len(), 1);
+        c.invalidate_file(FileId(2), 100);
+        assert!(c.is_empty());
+        c.invalidate_file(FileId(3), 100); // Unknown file is a no-op.
     }
 
     #[test]

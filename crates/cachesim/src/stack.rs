@@ -90,20 +90,21 @@ pub fn profilable(config: &CacheConfig) -> bool {
 /// slots, supporting prefix sums and rank selection in O(log n).
 struct Fenwick {
     tree: Vec<u32>,
-    /// Largest power of two `<= tree.len() - 1`, for binary-lifting select.
+    /// Tree capacity (`tree.len() - 1`), a power of two, so the select
+    /// walk starts at the root in one step.
     top_bit: usize,
 }
 
 impl Fenwick {
     fn new(slots: usize) -> Self {
-        let n = slots + 1;
-        let mut top_bit = 1usize;
-        while top_bit * 2 < n {
-            top_bit *= 2;
-        }
+        // Pad capacity to a power of two: `select` then needs no bounds
+        // check (every probe `pos + step` stays `<= cap`, because `pos`
+        // is a sum of distinct steps larger than `step`), which lets
+        // the walk run branch-free.
+        let cap = slots.next_power_of_two().max(1);
         Fenwick {
-            tree: vec![0; n],
-            top_bit,
+            tree: vec![0; cap + 1],
+            top_bit: cap,
         }
     }
 
@@ -129,17 +130,24 @@ impl Fenwick {
 
     /// Smallest sequence slot whose prefix sum reaches `k` (`k >= 1`;
     /// caller guarantees such a slot exists).
+    ///
+    /// The descent is branchless: each level turns "descend right?"
+    /// into a 0/1 mask, so the loop is a fixed log₂(cap) iterations of
+    /// straight-line arithmetic with no unpredictable branch — this
+    /// walk dominates the profiled sweep's per-access cost.
     fn select(&self, k: u64) -> u32 {
         let mut pos = 0usize;
         let mut rem = k;
         let mut step = self.top_bit;
         while step > 0 {
-            let next = pos + step;
-            if next < self.tree.len() && u64::from(self.tree[next]) < rem {
-                rem -= u64::from(self.tree[next]);
-                pos = next;
-            }
-            step /= 2;
+            // The root probe (`pos == 0`, `step == cap`) reads the
+            // whole-tree sum, which is `>= rem` by the caller's
+            // guarantee, so `pos + step` never exceeds `cap`.
+            let v = u64::from(self.tree[pos + step]);
+            let take = usize::from(v < rem);
+            rem -= v * take as u64;
+            pos += step & take.wrapping_neg();
+            step >>= 1;
         }
         pos as u32 // 1-based slot `pos + 1` → 0-based sequence `pos`.
     }

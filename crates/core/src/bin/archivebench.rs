@@ -13,6 +13,9 @@
 //! * single-threaded vs `--jobs`-way chunk-parallel decode time
 //!   (best of three passes each, so scheduler noise cannot fake a
 //!   regression) and the resulting speedup;
+//! * scalar (record-at-a-time) vs columnar batched decode records/s
+//!   over an uncompressed archive — the replay-hot-path comparison —
+//!   plus end-to-end replay records/s through the batched pipeline;
 //! * that a Table VI sweep over archive-decoded records is
 //!   bit-identical to the same sweep over the in-memory trace;
 //! * that flipping one byte in a mid-file chunk loses exactly that
@@ -20,10 +23,10 @@
 //!   record recovered.
 //!
 //! ci.sh runs this as the archive smoke/perf gate (`BENCH_5.json`,
-//! `BENCH_archive_smoke.json`). The `identical`/`recovery_ok` fields
-//! gate correctness on every machine; the speedup field is gated only
-//! where enough cores exist for parallelism to be physical (see the
-//! `cores` field and the ci.sh comments).
+//! `BENCH_6.json`, `BENCH_archive_smoke.json`). The
+//! `identical`/`recovery_ok` fields gate correctness on every machine;
+//! the speedup fields are gated only where enough cores exist for the
+//! timing to be stable (see the `cores` field and the ci.sh comments).
 
 use std::time::Instant;
 
@@ -125,13 +128,18 @@ fn main() {
     // Pack (best of 3): raw records -> framed, checksummed, compressed
     // archive bytes.
     let (pack_ms, bytes) = best_ms(3, || {
-        let mut w = ArchiveWriter::new(Vec::new(), opts.clone()).expect("archive header");
+        let mut w = ArchiveWriter::new(Vec::new(), opts.clone())
+            .unwrap_or_else(|e| die(&format!("archive header: {e}")));
         for rec in trace.records() {
-            w.write(rec).expect("archive write");
+            w.write(rec)
+                .unwrap_or_else(|e| die(&format!("archive write: {e}")));
         }
-        w.finish().expect("archive finish").0
+        w.finish()
+            .unwrap_or_else(|e| die(&format!("archive finish: {e}")))
+            .0
     });
-    let archive = Archive::from_bytes(bytes.clone()).expect("reopen packed archive");
+    let archive = Archive::from_bytes(bytes.clone())
+        .unwrap_or_else(|e| die(&format!("reopen packed archive: {e}")));
     let chunks = archive.chunks().len();
     let stored: u64 = archive.chunks().iter().map(|c| c.stored_len as u64).sum();
     let raw_payload: u64 = archive.chunks().iter().map(|c| c.raw_len as u64).sum();
@@ -151,6 +159,71 @@ fn main() {
     let pack_mb_s = mb / (pack_ms / 1e3).max(1e-9);
     let unpack_mb_s = mb / (decode1_ms / 1e3).max(1e-9);
 
+    // Columnar decode: scalar record-at-a-time vs batched RecordBlock
+    // decode, over an *uncompressed* archive so varint decode itself is
+    // measured rather than LZ77. Best of five passes each.
+    let plain_opts = ArchiveOptions {
+        chunk_target_bytes: chunk_kib << 10,
+        compress: false,
+        name: "a5".into(),
+    };
+    let mut w = ArchiveWriter::new(Vec::new(), plain_opts)
+        .unwrap_or_else(|e| die(&format!("plain archive header: {e}")));
+    for rec in trace.records() {
+        w.write(rec)
+            .unwrap_or_else(|e| die(&format!("plain archive write: {e}")));
+    }
+    let plain_bytes = w
+        .finish()
+        .unwrap_or_else(|e| die(&format!("plain archive finish: {e}")))
+        .0;
+    let plain = Archive::from_bytes(plain_bytes)
+        .unwrap_or_else(|e| die(&format!("reopen plain archive: {e}")));
+    let (scalar_ms, scalar_count) = best_ms(5, || {
+        let (records, report) = plain.read_all_scalar();
+        if !report.is_clean() {
+            die("plain archive failed scalar verification");
+        }
+        std::hint::black_box(records.len())
+    });
+    let (block_ms, block_count) = best_ms(5, || {
+        // One block reused across every chunk: the steady-state batched
+        // reader allocates nothing after the first chunk.
+        let mut block = fstrace::RecordBlock::new();
+        let mut n = 0usize;
+        for i in 0..plain.chunks().len() {
+            plain
+                .decode_chunk_into(i, &mut block)
+                .unwrap_or_else(|e| die(&format!("batched decode of chunk {i}: {e}")));
+            n += std::hint::black_box(&block).len();
+        }
+        n
+    });
+    if scalar_count != trace.len() || block_count != trace.len() {
+        die("columnar decode record counts diverged from the trace");
+    }
+    let decode_scalar_rps = trace.len() as f64 / (scalar_ms / 1e3).max(1e-9);
+    let decode_block_rps = trace.len() as f64 / (block_ms / 1e3).max(1e-9);
+    let decode_speedup = scalar_ms / block_ms.max(1e-9);
+
+    // End-to-end replay throughput through the batched pipeline:
+    // decode blocks and feed them straight to one Table VI cell.
+    let replay_config = CacheConfig {
+        cache_bytes: 2 << 20,
+        block_size: 4096,
+        write_policy: WritePolicy::DelayedWrite,
+        ..CacheConfig::default()
+    };
+    let (replay_ms, _) = best_ms(3, || {
+        cachesim::Simulator::run_blocks(
+            plain
+                .blocks(tracestore::Corruption::Fail)
+                .map(|b| b.unwrap_or_else(|e| die(&format!("batched decode during replay: {e}")))),
+            &replay_config,
+        )
+    });
+    let replay_rps = trace.len() as f64 / (replay_ms / 1e3).max(1e-9);
+
     // Sweep identity: Table VI over the archive replay must equal the
     // in-memory sweep bit for bit.
     let configs = grid();
@@ -165,7 +238,8 @@ fn main() {
     let at =
         info.offset as usize + tracestore::format::CHUNK_HEADER_LEN + info.stored_len as usize / 2;
     damaged_bytes[at] ^= 0xFF;
-    let damaged = Archive::from_bytes(damaged_bytes).expect("reopen damaged archive");
+    let damaged = Archive::from_bytes(damaged_bytes)
+        .unwrap_or_else(|e| die(&format!("reopen damaged archive: {e}")));
     let (recovered, report) = damaged.read_all();
     let chunks_skipped = report.chunks_skipped();
     let records_lost = report.records_lost();
@@ -196,6 +270,14 @@ fn main() {
         s.push_str(&format!("  \"decode1_ms\": {decode1_ms:.2},\n"));
         s.push_str(&format!("  \"decode_par_ms\": {decode_par_ms:.2},\n"));
         s.push_str(&format!("  \"par_speedup\": {par_speedup:.2},\n"));
+        s.push_str(&format!(
+            "  \"decode_scalar_records_s\": {decode_scalar_rps:.0},\n"
+        ));
+        s.push_str(&format!(
+            "  \"decode_block_records_s\": {decode_block_rps:.0},\n"
+        ));
+        s.push_str(&format!("  \"decode_speedup\": {decode_speedup:.2},\n"));
+        s.push_str(&format!("  \"replay_records_s\": {replay_rps:.0},\n"));
         s.push_str(&format!("  \"identical\": {identical},\n"));
         s.push_str(&format!(
             "  \"corrupt_chunks_skipped\": {chunks_skipped},\n"
@@ -216,6 +298,11 @@ fn main() {
         println!("  pack: {pack_ms:.1} ms ({pack_mb_s:.1} MB/s)");
         println!("  decode 1-way: {decode1_ms:.2} ms ({unpack_mb_s:.1} MB/s)");
         println!("  decode {jobs}-way: {decode_par_ms:.2} ms ({par_speedup:.2}x, {cores} cores)");
+        println!(
+            "  decode scalar: {decode_scalar_rps:.0} rec/s, batched: {decode_block_rps:.0} rec/s \
+             ({decode_speedup:.2}x)"
+        );
+        println!("  replay (batched pipeline): {replay_rps:.0} rec/s");
         println!("  sweep identical: {identical}");
         println!(
             "  corruption drill: {chunks_skipped} chunk skipped, {records_lost} records lost, \

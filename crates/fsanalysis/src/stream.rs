@@ -130,6 +130,17 @@ impl AnalysisStream {
         }
     }
 
+    /// Feeds every record of a decoded columnar block, in order — the
+    /// batched twin of [`AnalysisStream::observe`] for
+    /// [`fstrace::RecordBlock`] producers. Each record is materialized
+    /// from the columns on the stack; results are bit-identical to
+    /// observing the records one by one.
+    pub fn observe_block(&mut self, block: &fstrace::RecordBlock) {
+        for i in 0..block.len() {
+            self.observe(&block.get(i));
+        }
+    }
+
     /// Number of sessions currently held open — the stream's live
     /// memory, O(simultaneously open files).
     pub fn live_sessions(&self) -> usize {
@@ -317,6 +328,37 @@ mod tests {
         assert_eq!(peak, 2);
         assert_eq!(stream.live_sessions(), 0);
         assert_eq!(stream.live_sessions_peak(), 2);
+    }
+
+    #[test]
+    fn observe_block_matches_observe() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        let mut prev = 0u64;
+        for r in trace.records() {
+            prev = fstrace::codec::encode_into(&mut buf, r, prev);
+        }
+        // Chop the encoded stream into 3-record blocks and feed those.
+        let mut batched = AnalysisStream::new(&[600, 10]);
+        let mut pos = 0;
+        let mut ticks = 0u64;
+        let mut block = fstrace::RecordBlock::new();
+        while pos < buf.len() {
+            ticks = fstrace::block::decode_block(&buf, &mut pos, ticks, buf.len(), 3, &mut block)
+                .expect("well-formed");
+            batched.observe_block(&block);
+        }
+        let batched = batched.finish();
+        let streamed = run_analyzers(trace.records(), &[600, 10]);
+        assert_eq!(batched.activity.total_bytes, streamed.activity.total_bytes);
+        assert_eq!(
+            batched.sequentiality.total_accesses(),
+            streamed.sequentiality.total_accesses()
+        );
+        assert_eq!(batched.lifetimes.events, streamed.lifetimes.events);
+        assert_eq!(batched.users.users, streamed.users.users);
+        let (mut a, mut b) = (batched.open_times, streamed.open_times);
+        assert_eq!(a.median_ms(), b.median_ms());
     }
 
     #[test]

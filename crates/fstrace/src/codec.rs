@@ -20,6 +20,7 @@
 use std::io::{self, Read, Write};
 use std::sync::OnceLock;
 
+use crate::block::{decode_block, RecordBlock, BATCH_RECORDS};
 use crate::event::{AccessMode, TraceEvent, TraceRecord};
 use crate::ids::{FileId, OpenId, Timestamp, UserId};
 
@@ -47,17 +48,27 @@ pub const MAGIC: [u8; 4] = *b"FSTR";
 /// Current binary format version.
 pub const VERSION: u8 = 1;
 
-const TAG_OPEN: u8 = 1;
-const TAG_CREATE: u8 = 2;
-const TAG_CLOSE: u8 = 3;
-const TAG_SEEK: u8 = 4;
-const TAG_UNLINK: u8 = 5;
-const TAG_TRUNCATE: u8 = 6;
-const TAG_EXECVE: u8 = 7;
+/// Wire tag of an `open` record.
+pub const TAG_OPEN: u8 = 1;
+/// Wire tag of an `open` record that created the file.
+pub const TAG_CREATE: u8 = 2;
+/// Wire tag of a `close` record.
+pub const TAG_CLOSE: u8 = 3;
+/// Wire tag of a `seek` record.
+pub const TAG_SEEK: u8 = 4;
+/// Wire tag of an `unlink` record.
+pub const TAG_UNLINK: u8 = 5;
+/// Wire tag of a `truncate` record.
+pub const TAG_TRUNCATE: u8 = 6;
+/// Wire tag of an `execve` record.
+pub const TAG_EXECVE: u8 = 7;
 
-const MODE_RO: u64 = 0;
-const MODE_WO: u64 = 1;
-const MODE_RW: u64 = 2;
+/// Wire code for read-only access.
+pub const MODE_RO: u64 = 0;
+/// Wire code for write-only access.
+pub const MODE_WO: u64 = 1;
+/// Wire code for read-write access.
+pub const MODE_RW: u64 = 2;
 
 /// Errors produced while decoding a trace.
 #[derive(Debug)]
@@ -164,6 +175,11 @@ pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
         })?;
         *pos += 1;
         if shift >= 64 {
+            return Err(DecodeError::BadVarint);
+        }
+        // Tenth byte: only bit 63 of the value remains, so any higher
+        // value bit would silently shift out. Reject instead of wrapping.
+        if shift == 63 && byte & 0x7e != 0 {
             return Err(DecodeError::BadVarint);
         }
         v |= ((byte & 0x7f) as u64) << shift;
@@ -323,7 +339,9 @@ pub fn decode_from(
     })?;
     *pos += 1;
     let dt = get_varint(buf, pos)?;
-    let ticks = prev_ticks + dt;
+    // Saturate: a corrupt delta must not wrap the clock (or panic in
+    // debug builds).
+    let ticks = prev_ticks.saturating_add(dt);
     let time = Timestamp::from_ticks(ticks);
     let event = match tag {
         TAG_OPEN | TAG_CREATE => {
@@ -451,9 +469,13 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
-/// Upper bound on one encoded record: a tag byte plus six ten-byte
-/// varints (the `open` payload is the widest).
-const MAX_RECORD_BYTES: usize = 61;
+/// Buffering bound for one record probe. A *valid* record is at most a
+/// tag byte plus six ten-byte varints (61 bytes; the `open` payload is
+/// the widest), but proving a varint malformed can read an eleventh
+/// byte, so the decoder may touch up to `1 + 6 * 11 = 67` bytes before
+/// failing. Buffering this much guarantees a mid-stream decode error is
+/// a genuine format error, never an artifact of chunking.
+pub(crate) const MAX_RECORD_BYTES: usize = 67;
 
 /// Refill granularity of the incremental reader.
 const CHUNK_BYTES: usize = 64 * 1024;
@@ -462,10 +484,13 @@ const CHUNK_BYTES: usize = 64 * 1024;
 ///
 /// The reader pulls from the underlying stream in [`CHUNK_BYTES`]-sized
 /// refills and keeps at most one chunk of undecoded bytes buffered, so
-/// arbitrarily long trace files decode in O(1) memory. [`next_record`]
-/// decodes one record at a time; the [`Iterator`] impl and
-/// [`read_all`] are built on it, so all three paths share one decode
-/// loop and one set of `fstrace.codec.*` counters.
+/// arbitrarily long trace files decode in O(1) memory. Internally it
+/// decodes a whole batch of records at a time into a columnar
+/// [`RecordBlock`] (see [`crate::block`]) and serves them out one by
+/// one, so [`next_record`], the [`Iterator`] impl and [`read_all`] all
+/// share the batched decode loop and one set of `fstrace.codec.*`
+/// counters while keeping record-at-a-time semantics — including
+/// stream-absolute error offsets — bit-identical to the scalar codec.
 ///
 /// [`next_record`]: TraceReader::next_record
 /// [`read_all`]: TraceReader::read_all
@@ -484,6 +509,14 @@ pub struct TraceReader<R: Read> {
     consumed: u64,
     /// Records decoded so far, for truncation diagnostics.
     records: u64,
+    /// Current decoded batch; columns are reused across batches.
+    block: RecordBlock,
+    /// Index of the next unserved record in `block`.
+    cursor: usize,
+    /// Error found while decoding the current batch, already rewritten
+    /// to stream-absolute positions; yielded after the batch's good
+    /// prefix has been served.
+    pending: Option<DecodeError>,
 }
 
 impl<R: Read> TraceReader<R> {
@@ -498,6 +531,9 @@ impl<R: Read> TraceReader<R> {
             failed: false,
             consumed: (MAGIC.len() + 1) as u64,
             records: 0,
+            block: RecordBlock::new(),
+            cursor: 0,
+            pending: None,
         };
         r.refill()?;
         if r.buf.len() < MAGIC.len() + 1 || r.buf[..4] != MAGIC {
@@ -533,6 +569,54 @@ impl<R: Read> TraceReader<R> {
         Ok(())
     }
 
+    /// Decodes the next batch of records into the block. On failure the
+    /// batch keeps the good prefix and the error — rewritten from
+    /// buffer-relative to stream-absolute positions — is parked until
+    /// that prefix has been served.
+    fn fill_batch(&mut self) {
+        self.block.clear();
+        self.cursor = 0;
+        if let Err(e) = self.refill() {
+            self.pending = Some(e.into());
+            return;
+        }
+        if self.start >= self.buf.len() {
+            return;
+        }
+        // Stop before a record that could spill past the buffered
+        // bytes; after the final refill the buffer holds the whole
+        // tail, so decode to the end and let truncation surface as a
+        // genuine error.
+        let limit = if self.eof {
+            self.buf.len()
+        } else {
+            self.buf.len() - (MAX_RECORD_BYTES - 1)
+        };
+        let mut pos = self.start;
+        match decode_block(
+            &self.buf,
+            &mut pos,
+            self.prev_ticks,
+            limit,
+            BATCH_RECORDS,
+            &mut self.block,
+        ) {
+            Ok(ticks) => self.prev_ticks = ticks,
+            Err(e) => {
+                if let Some(&t) = self.block.ticks().last() {
+                    self.prev_ticks = t;
+                }
+                self.pending = Some(match e {
+                    DecodeError::Truncated { offset, .. } => DecodeError::Truncated {
+                        offset: self.consumed + (offset - self.start as u64),
+                        records: self.records + self.block.len() as u64,
+                    },
+                    other => other,
+                });
+            }
+        }
+    }
+
     /// Decodes the next record, refilling the buffer as needed.
     ///
     /// Returns `None` at end of stream; after the first error the
@@ -541,39 +625,28 @@ impl<R: Read> TraceReader<R> {
         if self.failed {
             return None;
         }
-        if let Err(e) = self.refill() {
+        if self.cursor >= self.block.len() && self.pending.is_none() {
+            self.fill_batch();
+        }
+        if self.cursor < self.block.len() {
+            let i = self.cursor;
+            self.cursor += 1;
+            let rec = self.block.get(i);
+            let end = self.block.end_offset(i);
+            let len = (end - self.start) as u64;
+            let c = codec_counters();
+            c.records_decoded.inc();
+            c.bytes_decoded.add(len);
+            self.consumed += len;
+            self.records += 1;
+            self.start = end;
+            return Some(Ok(rec));
+        }
+        if let Some(e) = self.pending.take() {
             self.failed = true;
-            return Some(Err(e.into()));
+            return Some(Err(e));
         }
-        if self.start >= self.buf.len() {
-            return None;
-        }
-        let mut pos = self.start;
-        match decode_from(&self.buf, &mut pos, self.prev_ticks) {
-            Ok((rec, ticks)) => {
-                self.prev_ticks = ticks;
-                let c = codec_counters();
-                c.records_decoded.inc();
-                c.bytes_decoded.add((pos - self.start) as u64);
-                self.consumed += (pos - self.start) as u64;
-                self.records += 1;
-                self.start = pos;
-                Some(Ok(rec))
-            }
-            Err(e) => {
-                self.failed = true;
-                // Rewrite buffer-relative truncation positions into
-                // absolute stream offsets plus the running record count.
-                let e = match e {
-                    DecodeError::Truncated { offset, .. } => DecodeError::Truncated {
-                        offset: self.consumed + (offset - self.start as u64),
-                        records: self.records,
-                    },
-                    other => other,
-                };
-                Some(Err(e))
-            }
-        }
+        None
     }
 
     /// Absolute byte offset of the next undecoded byte: the header plus

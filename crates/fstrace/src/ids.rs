@@ -34,9 +34,11 @@ impl Timestamp {
         Timestamp(ms / TICK_MS * TICK_MS)
     }
 
-    /// Creates a timestamp from 10 ms ticks.
+    /// Creates a timestamp from 10 ms ticks, saturating at the end of
+    /// time — adversarial tick counts from corrupt traces must not
+    /// overflow (and panic in debug builds).
     pub fn from_ticks(ticks: u64) -> Self {
-        Timestamp(ticks * TICK_MS)
+        Timestamp(ticks.saturating_mul(TICK_MS))
     }
 
     /// The timestamp in milliseconds.

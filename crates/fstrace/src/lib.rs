@@ -15,6 +15,8 @@
 //!   with 10 ms timestamp quantization.
 //! * [`codec`] — a compact varint binary codec and a line-oriented text
 //!   codec, with [`TraceWriter`]/[`TraceReader`] streaming adapters.
+//! * [`block`] — columnar batched decoding: [`RecordBlock`] column
+//!   vectors filled by one pass over a byte slice, the replay hot path.
 //! * [`source`] — streaming [`source::RecordSource`] /
 //!   [`source::RecordSink`] contracts, the k-way time-ordered
 //!   [`MergeSource`], and the [`ReorderBuffer`] that bounds the memory
@@ -45,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod codec;
 mod event;
 mod ids;
@@ -53,12 +56,14 @@ pub mod source;
 pub mod summary;
 mod trace;
 
+pub use block::{BlockRecords, RecordBlock};
 pub use codec::{TraceReader, TraceWriter};
 pub use event::{AccessMode, EventKind, TraceEvent, TraceRecord};
 pub use ids::{FileId, OpenId, Timestamp, UserId, TICK_MS};
 pub use session::{OpenSession, Run, SessionBuilder, SessionSet};
 pub use source::{
-    merged_records, IdOffsets, MergeSource, RecordSink, RecordSource, ReorderBuffer, TextSink,
+    merged_records, BlockRecordSource, IdOffsets, MergeSource, RecordSink, RecordSource,
+    ReorderBuffer, TextSink,
 };
 pub use summary::TraceSummary;
 pub use trace::{Trace, TraceBuilder};

@@ -2,12 +2,64 @@
 
 use proptest::prelude::*;
 
-use fstrace::codec::{from_text, to_text};
+use fstrace::block::{decode_block, get_varint_fast, RecordBlock};
+use fstrace::codec::{decode_from, from_text, get_varint, to_text, DecodeError};
 use fstrace::source::remap_record;
 use fstrace::{
     merged_records, AccessMode, FileId, IdOffsets, OpenId, ReorderBuffer, Timestamp, Trace,
     TraceEvent, TraceReader, TraceRecord, UserId,
 };
+
+/// Whole-buffer scalar decode: the oracle both batched paths must match
+/// record for record and error for error.
+fn scalar_decode(buf: &[u8]) -> (Vec<TraceRecord>, Option<DecodeError>) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    while pos < buf.len() {
+        match decode_from(buf, &mut pos, prev) {
+            Ok((r, t)) => {
+                out.push(r);
+                prev = t;
+            }
+            Err(e) => return (out, Some(e)),
+        }
+    }
+    (out, None)
+}
+
+/// Batched decode of the same buffer, in deliberately small batches so
+/// the cross-batch tick chaining is exercised.
+fn batched_decode(buf: &[u8]) -> (Vec<TraceRecord>, Option<DecodeError>) {
+    let mut block = RecordBlock::new();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut prev = 0u64;
+    while pos < buf.len() {
+        match decode_block(buf, &mut pos, prev, buf.len(), 7, &mut block) {
+            Ok(t) => {
+                prev = t;
+                block.append_to(&mut out);
+                if block.is_empty() {
+                    break;
+                }
+            }
+            Err(e) => {
+                block.append_to(&mut out);
+                return (out, Some(e));
+            }
+        }
+    }
+    (out, None)
+}
+
+fn assert_same_outcome(
+    scalar: (Vec<TraceRecord>, Option<DecodeError>),
+    batched: (Vec<TraceRecord>, Option<DecodeError>),
+) {
+    assert_eq!(scalar.0, batched.0);
+    assert_eq!(format!("{:?}", scalar.1), format!("{:?}", batched.1));
+}
 
 fn arb_mode() -> impl Strategy<Value = AccessMode> {
     prop_oneof![
@@ -298,5 +350,159 @@ proptest! {
     #[test]
     fn binary_len_is_exact(trace in arb_trace()) {
         prop_assert_eq!(trace.to_binary().len(), trace.binary_len());
+    }
+
+    /// Adversarial byte strings: the scalar and unrolled varint readers
+    /// agree on every input — same value and position on success, same
+    /// error otherwise. The biased second half raises the density of
+    /// continuation bytes, the regime where overflow handling lives.
+    #[test]
+    fn varint_readers_agree_on_adversarial_bytes(
+        bytes in prop::collection::vec(
+            prop_oneof![any::<u8>(), 0x80u8..=0xFFu8],
+            0..24,
+        ),
+    ) {
+        let mut p1 = 0usize;
+        let mut p2 = 0usize;
+        let r1 = get_varint(&bytes, &mut p1);
+        let r2 = get_varint_fast(&bytes, &mut p2);
+        match (&r1, &r2) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(p1, p2);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            _ => prop_assert!(false, "readers disagree: {:?} vs {:?}", r1, r2),
+        }
+    }
+
+    /// Varints can never decode to a value that re-encodes wider than
+    /// it was read — the overflow fix means silent wrapping is gone.
+    #[test]
+    fn varint_never_wraps_silently(v in any::<u64>(), junk in 0u8..4) {
+        // A valid encoding plus `junk` spurious continuation bytes must
+        // either decode to exactly `v` (junk untouched) or error.
+        let mut buf = Vec::new();
+        fstrace::codec::put_varint(&mut buf, v);
+        for _ in 0..junk {
+            let last = buf.len() - 1;
+            buf[last] |= 0x80;
+            buf.push(0x01);
+        }
+        for reader in [get_varint, get_varint_fast as fn(&[u8], &mut usize) -> _] {
+            let mut pos = 0usize;
+            match reader(&buf, &mut pos) {
+                Ok(got) if junk == 0 => prop_assert_eq!(got, v),
+                Ok(got) => {
+                    // Extending the encoding may still be in range; the
+                    // decoded value must then be bit-exact, never wrapped.
+                    let mut re = Vec::new();
+                    fstrace::codec::put_varint(&mut re, got);
+                    prop_assert!(re.len() <= buf.len());
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Batched ≡ scalar on pure adversarial byte soup.
+    #[test]
+    fn decoders_agree_on_adversarial_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        assert_same_outcome(scalar_decode(&bytes), batched_decode(&bytes));
+    }
+
+    /// Batched ≡ scalar on corrupted real traces: a valid record stream
+    /// with one byte flipped and random trailing garbage. This walks
+    /// the deep error paths (bad tags, bad modes, out-of-range users,
+    /// truncations mid-payload) that byte soup rarely reaches.
+    #[test]
+    fn decoders_agree_on_corrupted_traces(
+        trace in arb_trace(),
+        tail in prop::collection::vec(any::<u8>(), 0..40),
+        flip in 0usize..4096,
+        xor in any::<u8>(),
+    ) {
+        let mut bytes = trace.to_binary()[5..].to_vec();
+        bytes.extend(tail);
+        if !bytes.is_empty() {
+            let i = flip % bytes.len();
+            bytes[i] ^= xor;
+        }
+        assert_same_outcome(scalar_decode(&bytes), batched_decode(&bytes));
+    }
+
+    /// Batched ≡ scalar on every valid trace (the bit-identity claim on
+    /// the success path, including timestamps resolved across batches).
+    #[test]
+    fn decoders_agree_on_valid_traces(trace in arb_trace()) {
+        let bytes = trace.to_binary();
+        let (recs, err) = batched_decode(&bytes[5..]);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(&recs[..], trace.records());
+    }
+}
+
+/// The batched `TraceReader` reports truncation exactly like the scalar
+/// whole-buffer oracle at *every* possible prefix of a stream — same
+/// surviving records, same stream-absolute offset, same record count —
+/// regardless of how the underlying reader chunks its bytes.
+#[test]
+fn truncation_at_every_prefix_matches_scalar_offsets() {
+    let mut b = fstrace::TraceBuilder::new();
+    let u = b.new_user_id();
+    for i in 0..40u64 {
+        let f = b.new_file_id();
+        let o = b.open(i * 37, f, u, AccessMode::ReadWrite, 100 + i * 1000, false);
+        b.seek(i * 37 + 5, o, 50, 0);
+        b.close(i * 37 + 9, o, 100 + i * 1000);
+    }
+    let trace = b.finish();
+    let bytes = trace.to_binary();
+    assert!(bytes.len() > 100);
+    for cut in 5..=bytes.len() {
+        let slice = &bytes[..cut];
+        let (want_recs, want_err) = scalar_decode(&slice[5..]);
+        for chunk in [usize::MAX, 7] {
+            let reader = TrickleReader {
+                data: slice,
+                pos: 0,
+                chunk,
+            };
+            let mut r = TraceReader::new(reader).unwrap();
+            let mut got = Vec::new();
+            let got_err = loop {
+                match r.next_record() {
+                    Some(Ok(rec)) => got.push(rec),
+                    Some(Err(e)) => break Some(e),
+                    None => break None,
+                }
+            };
+            assert_eq!(got, want_recs, "cut {cut} chunk {chunk}");
+            match (&want_err, &got_err) {
+                (None, None) => {}
+                (
+                    Some(DecodeError::Truncated { offset, .. }),
+                    Some(DecodeError::Truncated {
+                        offset: got_off,
+                        records: got_n,
+                    }),
+                ) => {
+                    // The oracle offset is payload-relative; the reader
+                    // reports it stream-absolute (header included).
+                    assert_eq!(*got_off, offset + 5, "cut {cut} chunk {chunk}");
+                    assert_eq!(*got_n, want_recs.len() as u64, "cut {cut}");
+                    assert_eq!(r.records_decoded(), want_recs.len() as u64);
+                    assert!(*got_off >= r.byte_offset());
+                }
+                (a, b) => assert_eq!(
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "cut {cut} chunk {chunk}"
+                ),
+            }
+        }
     }
 }

@@ -126,11 +126,21 @@ pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, DecodeE
             if offset == 0 || offset > out.len() || out.len() + len > raw_len {
                 return Err(corrupt());
             }
-            // Overlapping copy: byte-at-a-time from `offset` back.
             let start = out.len() - offset;
-            for i in 0..len {
-                let b = out[start + i];
-                out.push(b);
+            if offset >= len {
+                // Disjoint source and destination: one memcpy.
+                out.extend_from_within(start..start + len);
+            } else {
+                // Overlapping copy (offset < len, e.g. RLE): the source
+                // grows as we write, so copy a source-sized run at a
+                // time — each run doubles the available pattern.
+                let mut done = 0usize;
+                while done < len {
+                    let n = offset.min(len - done);
+                    let from = out.len() - offset;
+                    out.extend_from_within(from..from + n);
+                    done += n;
+                }
             }
         }
     }

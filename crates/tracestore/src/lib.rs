@@ -41,7 +41,9 @@ pub mod reader;
 pub mod writer;
 
 pub use format::{ArchiveMeta, ChunkInfo};
-pub use reader::{Archive, ArchiveError, ArchiveRecords, BadChunk, Corruption, RecoveryReport};
+pub use reader::{
+    Archive, ArchiveBlocks, ArchiveError, ArchiveRecords, BadChunk, Corruption, RecoveryReport,
+};
 pub use writer::{ArchiveOptions, ArchiveSummary, ArchiveWriter};
 
 #[cfg(test)]

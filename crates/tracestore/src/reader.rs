@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
+use fstrace::block::{decode_block, RecordBlock};
 use fstrace::codec::{decode_from, DecodeError};
 use fstrace::TraceRecord;
 
@@ -178,8 +179,9 @@ impl Archive {
         self.bytes.len() as u64
     }
 
-    /// Verifies and decodes one chunk by index.
-    fn decode_chunk(&self, index: usize) -> Result<Vec<TraceRecord>, DecodeError> {
+    /// Verifies a chunk's frame and returns its raw (decompressed)
+    /// record payload, shared by the batched and scalar decoders.
+    fn chunk_payload(&self, index: usize) -> Result<std::borrow::Cow<'_, [u8]>, DecodeError> {
         let info = &self.chunks[index];
         let corrupt = || DecodeError::CorruptChunk {
             index: index as u64,
@@ -199,18 +201,56 @@ impl Archive {
         if chunk_crc(info, payload) != info.crc {
             return Err(corrupt());
         }
-        let raw_storage;
-        let raw: &[u8] = if info.compressed {
-            raw_storage = decompress(payload, info.raw_len as usize).map_err(|_| corrupt())?;
-            &raw_storage
+        if info.compressed {
+            let raw = decompress(payload, info.raw_len as usize).map_err(|_| corrupt())?;
+            Ok(std::borrow::Cow::Owned(raw))
         } else {
-            payload
+            Ok(std::borrow::Cow::Borrowed(payload))
+        }
+    }
+
+    /// Verifies one chunk and decodes it into `out`'s columns in a
+    /// single batched pass (the hot path). `out` is cleared first and
+    /// left empty on error, so a reused block never leaks a damaged
+    /// chunk's partial prefix into skip-mode reads.
+    pub fn decode_chunk_into(
+        &self,
+        index: usize,
+        out: &mut RecordBlock,
+    ) -> Result<(), DecodeError> {
+        let info = &self.chunks[index];
+        let corrupt = || DecodeError::CorruptChunk {
+            index: index as u64,
+            offset: info.offset,
         };
+        let raw = self.chunk_payload(index)?;
+        let mut pos = 0usize;
+        out.clear();
+        out.reserve(info.records as usize);
+        let decoded = decode_block(&raw, &mut pos, 0, raw.len(), usize::MAX, out);
+        if decoded.is_err() || pos != raw.len() || out.len() != info.records as usize {
+            out.clear();
+            return Err(corrupt());
+        }
+        Ok(())
+    }
+
+    /// Verifies and decodes one chunk record-at-a-time with the scalar
+    /// codec. Kept as the reference oracle for the batched path (the
+    /// property tests decode both ways) and as the baseline the
+    /// `BENCH_6` decode-throughput gate measures against.
+    fn decode_chunk_scalar(&self, index: usize) -> Result<Vec<TraceRecord>, DecodeError> {
+        let info = &self.chunks[index];
+        let corrupt = || DecodeError::CorruptChunk {
+            index: index as u64,
+            offset: info.offset,
+        };
+        let raw = self.chunk_payload(index)?;
         let mut records = Vec::with_capacity(info.records as usize);
         let mut pos = 0usize;
         let mut prev_ticks = 0u64;
         while pos < raw.len() {
-            let (rec, ticks) = decode_from(raw, &mut pos, prev_ticks).map_err(|_| corrupt())?;
+            let (rec, ticks) = decode_from(&raw, &mut pos, prev_ticks).map_err(|_| corrupt())?;
             prev_ticks = ticks;
             records.push(rec);
         }
@@ -253,6 +293,23 @@ impl Archive {
         ArchiveRecords::new(self, chunks.into_iter().collect(), mode)
     }
 
+    /// Iterates the archive chunk by chunk as decoded [`RecordBlock`]s
+    /// under the given corruption policy — the block-level twin of
+    /// [`Archive::records`] for consumers that want whole columns
+    /// (`sweep::run_block_source`, `Simulator::run_blocks`).
+    pub fn blocks(&self, mode: Corruption) -> ArchiveBlocks<'_> {
+        ArchiveBlocks {
+            archive: self,
+            pending: (0..self.chunks.len()).collect::<Vec<_>>().into_iter(),
+            mode,
+            report: RecoveryReport {
+                footer_rebuilt: self.footer_rebuilt,
+                ..RecoveryReport::default()
+            },
+            failed: false,
+        }
+    }
+
     /// Decodes the whole archive into memory, skipping damaged chunks,
     /// and reports what was lost. Single-threaded; see
     /// [`Archive::decode_parallel`] for the multi-worker variant.
@@ -262,9 +319,10 @@ impl Archive {
             footer_rebuilt: self.footer_rebuilt,
             ..RecoveryReport::default()
         };
+        let mut block = RecordBlock::new();
         for i in 0..self.chunks.len() {
-            match self.decode_chunk(i) {
-                Ok(recs) => out.extend(recs),
+            match self.decode_chunk_into(i, &mut block) {
+                Ok(()) => block.append_to(&mut out),
                 Err(_) => report.bad_chunks.push(BadChunk {
                     index: i as u64,
                     offset: self.chunks[i].offset,
@@ -273,6 +331,29 @@ impl Archive {
             }
         }
         publish_read_metrics(self, &report);
+        (out, report)
+    }
+
+    /// [`Archive::read_all`] through the scalar record-at-a-time codec.
+    /// This is the decode baseline `BENCH_6` measures the batched path
+    /// against, and the oracle the equivalence property tests use; it
+    /// takes no part in production reads.
+    pub fn read_all_scalar(&self) -> (Vec<TraceRecord>, RecoveryReport) {
+        let mut out = Vec::with_capacity(self.meta.total_records as usize);
+        let mut report = RecoveryReport {
+            footer_rebuilt: self.footer_rebuilt,
+            ..RecoveryReport::default()
+        };
+        for i in 0..self.chunks.len() {
+            match self.decode_chunk_scalar(i) {
+                Ok(recs) => out.extend(recs),
+                Err(_) => report.bad_chunks.push(BadChunk {
+                    index: i as u64,
+                    offset: self.chunks[i].offset,
+                    records_lost: self.chunks[i].records as u64,
+                }),
+            }
+        }
         (out, report)
     }
 
@@ -292,13 +373,24 @@ impl Archive {
         let next = AtomicUsize::new(0);
         thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= self.chunks.len() {
-                        break;
+                s.spawn(|| {
+                    // One block per worker, reused across the chunks it
+                    // claims, so steady-state decode does not allocate.
+                    let mut block = RecordBlock::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= self.chunks.len() {
+                            break;
+                        }
+                        let res = self
+                            .decode_chunk_into(i, &mut block)
+                            .map(|()| block.to_records())
+                            .map_err(|_| ());
+                        // A panicked peer poisons nothing we can't use:
+                        // the slot value is a plain Option, so recover
+                        // the guard and keep decoding.
+                        *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(res);
                     }
-                    let res = self.decode_chunk(i).map_err(|_| ());
-                    *slots[i].lock().expect("decode slot poisoned") = Some(res);
                 });
             }
         });
@@ -308,7 +400,7 @@ impl Archive {
             ..RecoveryReport::default()
         };
         for (i, slot) in slots.into_iter().enumerate() {
-            match slot.into_inner().expect("decode slot poisoned") {
+            match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
                 Some(Ok(recs)) => out.extend(recs),
                 Some(Err(())) | None => report.bad_chunks.push(BadChunk {
                     index: i as u64,
@@ -341,12 +433,19 @@ fn publish_read_metrics(archive: &Archive, report: &RecoveryReport) {
 /// Sequential record iterator over a chunk selection; yields
 /// `Result<TraceRecord, DecodeError>`, so it is a
 /// [`fstrace::source::RecordSource`].
+///
+/// Chunks decode batched into one reused [`RecordBlock`]; `next()`
+/// walks the block's columns with a cursor and materializes one record
+/// view at a time, so streaming an archive allocates per chunk at most
+/// (for decompression), never per record.
 pub struct ArchiveRecords<'a> {
     archive: &'a Archive,
     /// Chunk indices still to decode, in order.
     pending: std::vec::IntoIter<usize>,
-    /// Records of the chunk being drained.
-    current: std::vec::IntoIter<TraceRecord>,
+    /// Columns of the chunk being drained, reused across chunks.
+    block: RecordBlock,
+    /// Next unserved record in `block`.
+    cursor: usize,
     mode: Corruption,
     report: RecoveryReport,
     /// Set after a `Fail`-mode error: the iterator is fused off.
@@ -358,7 +457,8 @@ impl<'a> ArchiveRecords<'a> {
         ArchiveRecords {
             archive,
             pending: chunks.into_iter(),
-            current: Vec::new().into_iter(),
+            block: RecordBlock::new(),
+            cursor: 0,
             mode,
             report: RecoveryReport {
                 footer_rebuilt: archive.footer_rebuilt,
@@ -382,12 +482,67 @@ impl Iterator for ArchiveRecords<'_> {
             if self.failed {
                 return None;
             }
-            if let Some(rec) = self.current.next() {
+            if self.cursor < self.block.len() {
+                let rec = self.block.get(self.cursor);
+                self.cursor += 1;
                 return Some(Ok(rec));
             }
             let i = self.pending.next()?;
-            match self.archive.decode_chunk(i) {
-                Ok(recs) => self.current = recs.into_iter(),
+            match self.archive.decode_chunk_into(i, &mut self.block) {
+                Ok(()) => self.cursor = 0,
+                Err(e) => {
+                    self.report.bad_chunks.push(BadChunk {
+                        index: i as u64,
+                        offset: self.archive.chunks[i].offset,
+                        records_lost: self.archive.chunks[i].records as u64,
+                    });
+                    obs::global()
+                        .counter("tracestore.chunks_skipped_corrupt")
+                        .inc();
+                    match self.mode {
+                        Corruption::Fail => {
+                            self.failed = true;
+                            return Some(Err(e));
+                        }
+                        Corruption::Skip => continue,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Chunk-granular block iterator: each `next()` verifies and decodes
+/// one whole chunk into an owned [`RecordBlock`]. Corruption policy and
+/// fusing mirror [`ArchiveRecords`]; wrap in
+/// [`fstrace::BlockRecordSource`] to get a record-level source again.
+pub struct ArchiveBlocks<'a> {
+    archive: &'a Archive,
+    pending: std::vec::IntoIter<usize>,
+    mode: Corruption,
+    report: RecoveryReport,
+    failed: bool,
+}
+
+impl ArchiveBlocks<'_> {
+    /// What has been skipped so far (complete once iteration ends).
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+}
+
+impl Iterator for ArchiveBlocks<'_> {
+    type Item = Result<RecordBlock, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.failed {
+                return None;
+            }
+            let i = self.pending.next()?;
+            let mut block = RecordBlock::with_capacity(self.archive.chunks[i].records as usize);
+            match self.archive.decode_chunk_into(i, &mut block) {
+                Ok(()) => return Some(Ok(block)),
                 Err(e) => {
                     self.report.bad_chunks.push(BadChunk {
                         index: i as u64,

@@ -135,6 +135,16 @@ impl<W: Write> ArchiveWriter<W> {
         Ok(())
     }
 
+    /// Appends every record of a decoded block, in order — the columnar
+    /// repack path: `Archive::blocks` → filter/transform → `write_block`
+    /// moves chunks between archives without a per-record sink call.
+    pub fn write_block(&mut self, block: &fstrace::RecordBlock) -> io::Result<()> {
+        for i in 0..block.len() {
+            self.write(&block.get(i))?;
+        }
+        Ok(())
+    }
+
     /// Frames, checksums, and writes the pending chunk, if any.
     fn flush_chunk(&mut self) -> io::Result<()> {
         if self.chunk_records == 0 {

@@ -13,8 +13,8 @@
 
 use proptest::prelude::*;
 
-use fstrace::{AccessMode, FileId, OpenId, TraceEvent, TraceRecord, UserId};
-use tracestore::{Archive, ArchiveOptions, ArchiveWriter};
+use fstrace::{AccessMode, BlockRecordSource, FileId, OpenId, TraceEvent, TraceRecord, UserId};
+use tracestore::{Archive, ArchiveOptions, ArchiveWriter, Corruption};
 
 fn arb_mode() -> impl Strategy<Value = AccessMode> {
     prop_oneof![
@@ -81,6 +81,107 @@ fn arb_records(max: usize) -> impl Strategy<Value = Vec<TraceRecord>> {
             .map(|(t, e)| TraceRecord::new(t, e))
             .collect()
     })
+}
+
+/// Golden decode of one TSCK chunk: a fixed record set, one chunk, and
+/// the exact column vectors the batched decoder must produce. A change
+/// to the `RecordBlock` layout (field order, padding, tick resolution)
+/// fails here first — making layout changes deliberate, not accidental.
+#[test]
+fn golden_chunk_decodes_to_known_columns() {
+    let records = vec![
+        TraceRecord::new(
+            0,
+            TraceEvent::Open {
+                open_id: OpenId(1),
+                file_id: FileId(10),
+                user_id: UserId(5),
+                mode: AccessMode::ReadOnly,
+                size: 4096,
+                created: false,
+            },
+        ),
+        TraceRecord::new(
+            50,
+            TraceEvent::Seek {
+                open_id: OpenId(1),
+                old_pos: 1024,
+                new_pos: 2048,
+            },
+        ),
+        TraceRecord::new(
+            120,
+            TraceEvent::Close {
+                open_id: OpenId(1),
+                final_pos: 4096,
+            },
+        ),
+        TraceRecord::new(
+            200,
+            TraceEvent::Open {
+                open_id: OpenId(2),
+                file_id: FileId(11),
+                user_id: UserId(6),
+                mode: AccessMode::WriteOnly,
+                size: 0,
+                created: true,
+            },
+        ),
+        TraceRecord::new(
+            210,
+            TraceEvent::Unlink {
+                file_id: FileId(11),
+                user_id: UserId(5),
+            },
+        ),
+        TraceRecord::new(
+            300,
+            TraceEvent::Truncate {
+                file_id: FileId(12),
+                new_len: 100,
+                user_id: UserId(6),
+            },
+        ),
+        TraceRecord::new(
+            1000,
+            TraceEvent::Execve {
+                file_id: FileId(20),
+                user_id: UserId(5),
+                size: 90_000,
+            },
+        ),
+    ];
+    let bytes = write_archive(&records, 1 << 20, false);
+    let archive = Archive::from_bytes(bytes).expect("open");
+    assert_eq!(archive.chunks().len(), 1, "golden set fits one chunk");
+    let mut block = fstrace::RecordBlock::new();
+    archive
+        .decode_chunk_into(0, &mut block)
+        .expect("golden chunk decodes");
+
+    // Timestamps: absolute 10 ms ticks, delta chain resolved.
+    assert_eq!(block.ticks(), &[0, 5, 12, 20, 21, 30, 100]);
+    // Op codes: the wire tags (open=1, create=2, close=3, seek=4,
+    // unlink=5, truncate=6, execve=7).
+    assert_eq!(block.tags(), &[1, 4, 3, 2, 5, 6, 7]);
+    // Payload columns: wire-order varints, zero-padded to stride 5.
+    let golden_fields: [[u64; 5]; 7] = [
+        [1, 10, 5, 0, 4096],   // open: open_id file_id user mode size
+        [1, 1024, 2048, 0, 0], // seek: open_id old_pos new_pos
+        [1, 4096, 0, 0, 0],    // close: open_id final_pos
+        [2, 11, 6, 1, 0],      // create: mode=write-only(1), size 0
+        [11, 5, 0, 0, 0],      // unlink: file_id user
+        [12, 100, 6, 0, 0],    // truncate: file_id new_len user
+        [20, 5, 90_000, 0, 0], // execve: file_id user size
+    ];
+    for (i, want) in golden_fields.iter().enumerate() {
+        assert_eq!(block.fields(i), want, "record {i}");
+    }
+    // End offsets partition the chunk payload exactly.
+    let raw_len = archive.chunks()[0].raw_len as usize;
+    assert_eq!(block.end_offset(block.len() - 1), raw_len);
+    // And the materialized records round-trip the input.
+    assert_eq!(block.to_records(), records);
 }
 
 fn write_archive(records: &[TraceRecord], chunk_target_bytes: usize, compress: bool) -> Vec<u8> {
@@ -172,6 +273,42 @@ proptest! {
         let (par, preport) = damaged.decode_parallel(3);
         prop_assert_eq!(&par, &expected);
         prop_assert_eq!(preport.chunks_skipped(), 1);
+    }
+
+    /// Batched ≡ scalar over whole archives: the columnar chunk decoder
+    /// and the record-at-a-time oracle produce identical records and
+    /// identical loss reports, for compressed and passthrough chunks,
+    /// on clean and damaged files alike.
+    #[test]
+    fn batched_archive_decode_matches_scalar_oracle(
+        records in arb_records(300),
+        chunk_kib in 0usize..3,
+        compress in any::<bool>(),
+        corrupt in any::<bool>(),
+        victim_seed in any::<u64>(),
+        byte_seed in any::<u64>(),
+        flip in 1u8..=255,
+    ) {
+        let chunk = 256 << chunk_kib;
+        let mut bytes = write_archive(&records, chunk, compress);
+        let clean = Archive::from_bytes(bytes.clone()).expect("open");
+        if corrupt && !clean.chunks().is_empty() {
+            let chunks = clean.chunks();
+            let info = chunks[(victim_seed % chunks.len() as u64) as usize];
+            let at = info.offset + byte_seed % info.frame_len();
+            bytes[at as usize] ^= flip;
+        }
+        let archive = Archive::from_bytes(bytes).expect("open");
+        let (scalar, scalar_report) = archive.read_all_scalar();
+        let (batched, batched_report) = archive.read_all();
+        prop_assert_eq!(&batched, &scalar);
+        prop_assert_eq!(batched_report, scalar_report);
+        // The streaming block iterator agrees too, record for record.
+        let via_blocks: Vec<TraceRecord> =
+            BlockRecordSource::new(archive.blocks(Corruption::Skip))
+                .map(|r| r.expect("skip mode yields no errors"))
+                .collect();
+        prop_assert_eq!(&via_blocks, &scalar);
     }
 
     /// Destroying the footer demotes the open to a scan that still
