@@ -194,6 +194,35 @@ awk -F'[:,]' '
     }' target/artifacts/BENCH_6.json
 echo "   wrote target/artifacts/BENCH_6.json"
 
+echo "== fleet generation benchmark artifact"
+# The same 8-machine fleet generated with 1 worker and with 4 workers
+# must merge to byte-identical traces (the fleet's determinism
+# contract, asserted by the binary and re-asserted here), with zero
+# command errors. The speedup floor is core-count-adaptive like
+# BENCH_5/6: >= 2x on 4+ cores, >= 1.2x on 2-3, and on one core just a
+# pathology floor — the identity check is the part that can never be
+# waived.
+./target/release/fleetbench --machines 8 --hours 0.25 --user-scale 0.5 \
+    --jobs 4 --json > target/artifacts/BENCH_7.json
+awk -F'[:,]' '
+    /"cores"/ { cores = $2 }
+    /"identical"/ { identical = $2 }
+    /"speedup"/ { speedup = $2 }
+    /"errors"/ { errors = $2 }
+    /"parallel_records_s"/ { rps = $2 }
+    END {
+        gsub(/[ "]/, "", identical)
+        if (identical != "true") { print "   fleet: jobs=1 vs jobs=4 diverged"; exit 1 }
+        if (errors + 0 != 0) { print "   fleet: " errors " command errors"; exit 1 }
+        if (cores + 0 >= 4) floor = 2; else if (cores + 0 >= 2) floor = 1.2; else floor = 0.4
+        if (speedup + 0 < floor) {
+            print "   fleet: speedup " speedup "x < " floor "x (" cores " cores)"; exit 1
+        }
+        printf "   fleet: byte-identical across jobs, %.0f records/s parallel (%sx, floor %sx on %s core(s))\n", \
+            rps, speedup, floor, cores
+    }' target/artifacts/BENCH_7.json
+echo "   wrote target/artifacts/BENCH_7.json"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

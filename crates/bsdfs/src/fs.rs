@@ -1456,6 +1456,12 @@ impl Fs {
         self.tracer.drain_records()
     }
 
+    /// Drains the collected trace records into a consumer-side
+    /// [`fstrace::ReorderBuffer`] (see [`crate::Tracer::drain_into`]).
+    pub fn drain_trace_into(&mut self, buf: &mut fstrace::ReorderBuffer) {
+        self.tracer.drain_into(buf);
+    }
+
     /// Walks the directory tree verifying structural invariants; returns
     /// the number of live files found. Used by tests ("fsck-lite").
     ///

@@ -66,3 +66,4 @@ pub use error::{FsError, FsResult};
 pub use fs::{Fd, Fs, FsStats, OpenFlags, SeekFrom, Stat};
 pub use inode::{FileType, Ino};
 pub use params::FsParams;
+pub use tracer::Tracer;

@@ -5,7 +5,7 @@
 //! `open`/`create`, `close`, `seek`, `unlink`, `truncate`, and `execve`,
 //! and deliberately does *not* see `read` or `write`.
 
-use fstrace::{AccessMode, FileId, OpenId, Trace, TraceEvent, TraceRecord, UserId};
+use fstrace::{AccessMode, FileId, OpenId, ReorderBuffer, Trace, TraceEvent, TraceRecord, UserId};
 
 /// Collects trace records from file system activity.
 ///
@@ -148,6 +148,22 @@ impl Tracer {
     /// [`Trace`].
     pub fn drain_records(&mut self) -> std::vec::Drain<'_, TraceRecord> {
         self.records.drain(..)
+    }
+
+    /// Drains the collected records straight into a consumer-side
+    /// [`ReorderBuffer`], keeping the tracer's allocation for the next
+    /// batch.
+    ///
+    /// This is the provider→consumer hop of the tracing pipeline: the
+    /// tracer is the per-machine *provider* ring (records accumulate
+    /// here during one scheduling step, so its occupancy is bounded by
+    /// a single step's output), and the reorder buffer is the
+    /// consumer that re-sorts the bounded skew before records leave
+    /// the machine.
+    pub fn drain_into(&mut self, buf: &mut ReorderBuffer) {
+        for rec in self.records.drain(..) {
+            buf.push(rec);
+        }
     }
 }
 

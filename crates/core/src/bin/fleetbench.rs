@@ -1,0 +1,211 @@
+//! `fleetbench`: measure the fleet generator's parallel speedup and
+//! verify its schedule independence.
+//!
+//! ```text
+//! fleetbench [--machines N] [--hours H] [--seed S] [--jobs N]
+//!            [--user-scale F] [--epoch-ms MS] [--json]
+//! ```
+//!
+//! Runs the same N-machine fleet twice — once with a single worker
+//! thread, once with `--jobs` workers — and checks the two merged
+//! traces are **byte-identical** (the fleet's load-bearing determinism
+//! property) before reporting records/s for each and the speedup.
+//! ci.sh gates on the artifact: identity always, and a core-count-
+//! adaptive speedup floor (threads cannot beat physics on one core).
+
+use std::time::Instant;
+
+use fstrace::{RecordSink, TraceRecord, TraceWriter};
+use workload::{generate_fleet_into, FleetConfig, FleetStats};
+
+/// Materializes the merged stream and its canonical binary encoding,
+/// so identity can be asserted at the byte level, not just record
+/// equality.
+struct ByteSink {
+    records: Vec<TraceRecord>,
+    writer: TraceWriter<Vec<u8>>,
+}
+
+impl ByteSink {
+    fn new() -> Self {
+        ByteSink {
+            records: Vec::new(),
+            writer: TraceWriter::new(Vec::new()).expect("vec write"),
+        }
+    }
+}
+
+impl RecordSink for ByteSink {
+    fn write_record(&mut self, rec: &TraceRecord) -> std::io::Result<()> {
+        self.records.push(*rec);
+        self.writer.write_record(rec)
+    }
+}
+
+fn run(config: &FleetConfig) -> (FleetStats, Vec<TraceRecord>, Vec<u8>, f64) {
+    let mut sink = ByteSink::new();
+    let started = Instant::now();
+    let stats =
+        generate_fleet_into(config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let bytes = sink.writer.into_inner().expect("vec flush");
+    (stats, sink.records, bytes, wall_ms)
+}
+
+/// Peak resident set size in kbytes (`VmHWM` from `/proc/self/status`),
+/// or 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut machines = 8usize;
+    let mut hours = 0.1f64;
+    let mut seed = 1985u64;
+    let mut jobs = 0usize; // 0: pick from the core count.
+    let mut user_scale = 0.5f64;
+    let mut epoch_ms = 60_000u64;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--machines" => {
+                machines = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--machines needs a positive integer"))
+            }
+            "--hours" => {
+                hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"))
+            }
+            "--user-scale" => {
+                user_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &f64| s > 0.0)
+                    .unwrap_or_else(|| die("--user-scale needs a positive number"))
+            }
+            "--epoch-ms" => {
+                epoch_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--epoch-ms needs a positive integer"))
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: fleetbench [--machines N] [--hours H] [--seed S] [--jobs N]\n\
+                     \x20      [--user-scale F] [--epoch-ms MS] [--json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if jobs == 0 {
+        jobs = cores.clamp(1, machines);
+    }
+
+    let base = FleetConfig {
+        machines,
+        seed,
+        duration_hours: hours,
+        user_scale,
+        epoch_ms,
+        jobs: 1,
+        ..FleetConfig::default()
+    };
+    let (stats1, recs1, bytes1, serial_ms) = run(&base);
+    let par = FleetConfig { jobs, ..base };
+    let (stats_n, recs_n, bytes_n, par_ms) = run(&par);
+
+    let identical = recs1 == recs_n && bytes1 == bytes_n;
+    let records = stats_n.records;
+    let serial_rps = records as f64 / (serial_ms / 1e3);
+    let par_rps = records as f64 / (par_ms / 1e3);
+    let speedup = serial_ms / par_ms;
+    let rss = peak_rss_kb();
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"machines\": {machines},\n"));
+        out.push_str(&format!("  \"jobs\": {jobs},\n"));
+        out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str(&format!("  \"hours\": {hours},\n"));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"records\": {records},\n"));
+        out.push_str(&format!("  \"identical\": {identical},\n"));
+        out.push_str(&format!("  \"serial_wall_ms\": {serial_ms:.1},\n"));
+        out.push_str(&format!("  \"parallel_wall_ms\": {par_ms:.1},\n"));
+        out.push_str(&format!("  \"serial_records_s\": {serial_rps:.0},\n"));
+        out.push_str(&format!("  \"parallel_records_s\": {par_rps:.0},\n"));
+        out.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+        out.push_str(&format!(
+            "  \"merge_buffered_peak\": {},\n",
+            stats_n.merge_buffered_peak
+        ));
+        out.push_str(&format!(
+            "  \"ring_occupancy_peak\": {},\n",
+            stats_n.ring_occupancy_peak
+        ));
+        out.push_str(&format!(
+            "  \"merge_lag_ms_peak\": {},\n",
+            stats_n.merge_lag_ms_peak
+        ));
+        out.push_str(&format!("  \"errors\": {},\n", stats_n.total_errors()));
+        out.push_str(&format!("  \"peak_rss_kb\": {rss}\n"));
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!(
+            "fleet: {machines} machines x {hours} h (seed {seed}), {jobs} jobs on {cores} cores"
+        );
+        print!("{}", stats_n.render_table());
+        println!("  identical: {identical}");
+        println!("  serial:   {serial_ms:.1} ms ({serial_rps:.0} records/s)");
+        println!("  parallel: {par_ms:.1} ms ({par_rps:.0} records/s)");
+        println!("  speedup:  {speedup:.2}x");
+        println!("  merge_buffered_peak: {}", stats_n.merge_buffered_peak);
+        println!("  ring_occupancy_peak: {}", stats_n.ring_occupancy_peak);
+        println!("  merge_lag_ms_peak: {}", stats_n.merge_lag_ms_peak);
+        println!("  peak_rss_kb: {rss}");
+    }
+    let _ = stats1;
+    if !identical {
+        die("jobs=1 and jobs=N produced different traces");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fleetbench: {msg}");
+    std::process::exit(1);
+}

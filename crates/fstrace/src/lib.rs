@@ -62,8 +62,8 @@ pub use event::{AccessMode, EventKind, TraceEvent, TraceRecord};
 pub use ids::{FileId, OpenId, Timestamp, UserId, TICK_MS};
 pub use session::{OpenSession, Run, SessionBuilder, SessionSet};
 pub use source::{
-    merged_records, BlockRecordSource, IdOffsets, MergeSource, RecordSink, RecordSource,
-    ReorderBuffer, TextSink,
+    merged_records, BlockRecordSource, FleetMerge, IdOffsets, MergeSource, RecordSink,
+    RecordSource, ReorderBuffer, TextSink,
 };
 pub use summary::TraceSummary;
 pub use trace::{Trace, TraceBuilder};

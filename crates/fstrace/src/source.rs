@@ -429,12 +429,19 @@ impl ReorderBuffer {
         Ok(())
     }
 
-    /// Drains every remaining record to `sink`, in time order.
-    pub fn finish(mut self, sink: &mut dyn RecordSink) -> io::Result<()> {
+    /// Drains every remaining record to `sink` in time order, leaving
+    /// the buffer empty but reusable (the arrival-sequence counter and
+    /// peak statistic carry over).
+    pub fn drain(&mut self, sink: &mut dyn RecordSink) -> io::Result<()> {
         while let Some(Reverse(q)) = self.heap.pop() {
             sink.write_record(&q.rec)?;
         }
         Ok(())
+    }
+
+    /// Drains every remaining record to `sink`, in time order.
+    pub fn finish(mut self, sink: &mut dyn RecordSink) -> io::Result<()> {
+        self.drain(sink)
     }
 
     /// Records currently buffered.
@@ -450,6 +457,213 @@ impl ReorderBuffer {
     /// Greatest number of records this buffer has held at once.
     pub fn peak(&self) -> usize {
         self.peak
+    }
+}
+
+/// The `fstrace.fleet.buffered_records_peak` gauge: the most records
+/// any [`FleetMerge`] in this process has held at once.
+fn fleet_buffered_peak() -> &'static obs::Gauge {
+    static CELL: OnceLock<obs::Gauge> = OnceLock::new();
+    CELL.get_or_init(|| obs::global().gauge("fstrace.fleet.buffered_records_peak"))
+}
+
+/// One input stream of a [`FleetMerge`].
+struct FleetInput {
+    /// Records pushed but not yet released, in nondecreasing time order
+    /// (already remapped by this input's offsets).
+    queue: std::collections::VecDeque<TraceRecord>,
+    offsets: IdOffsets,
+    /// Everything this input will ever emit before `progress` has been
+    /// pushed; [`Timestamp`]s below it are final.
+    progress: Timestamp,
+    finished: bool,
+    /// Time of the last pushed record, for the order debug-assert.
+    last_time: Timestamp,
+    /// `true` while `queue`'s front sits in the release heap.
+    in_heap: bool,
+}
+
+/// Watermark-gated k-way merge for concurrently produced streams.
+///
+/// [`MergeSource`] pulls; `FleetMerge` is its push-mode sibling for
+/// producers that live on other threads: each simulated machine feeds
+/// records (in its own nondecreasing time order) and separately
+/// advances a *progress watermark* — a promise that everything it will
+/// ever emit before that time has already been pushed. [`release`]
+/// then emits every record whose quantized time lies strictly below
+/// the **fleet watermark** (the minimum progress over unfinished
+/// inputs), ordered by `(time, input index, push order)` — exactly the
+/// sequence [`MergeSource`] over the complete per-input streams would
+/// produce, and therefore independent of how pushes, progress updates,
+/// and releases interleave. That schedule-independence is the fleet
+/// determinism contract: a merge fed by N racing threads is
+/// byte-identical to the same merge fed serially.
+///
+/// The slowest input gates the merge, so buffering is bounded by how
+/// far ahead producers are allowed to run, not by trace length; the
+/// high-water mark feeds the `fstrace.fleet.buffered_records_peak`
+/// gauge.
+///
+/// [`release`]: FleetMerge::release
+pub struct FleetMerge {
+    inputs: Vec<FleetInput>,
+    /// Min-heap of (front-record time, input index) for inputs whose
+    /// queue front is eligible; the index tie-break makes equal-time
+    /// ordering match stable concatenation order.
+    heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    buffered: usize,
+    peak: usize,
+    released: u64,
+}
+
+impl FleetMerge {
+    /// Creates a merge over `offsets.len()` inputs; input `i`'s ids are
+    /// shifted by `offsets[i]` so machines never collide.
+    pub fn new(offsets: Vec<IdOffsets>) -> Self {
+        let inputs = offsets
+            .into_iter()
+            .map(|offsets| FleetInput {
+                queue: std::collections::VecDeque::new(),
+                offsets,
+                progress: Timestamp::ZERO,
+                finished: false,
+                last_time: Timestamp::ZERO,
+                in_heap: false,
+            })
+            .collect();
+        FleetMerge {
+            inputs,
+            heap: BinaryHeap::new(),
+            buffered: 0,
+            peak: 0,
+            released: 0,
+        }
+    }
+
+    /// Number of inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Buffers one record from input `i`.
+    ///
+    /// Records of one input must arrive in nondecreasing time order
+    /// (debug-asserted) — the per-machine [`ReorderBuffer`] guarantees
+    /// exactly that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is out of range or already finished.
+    pub fn push(&mut self, i: usize, rec: &TraceRecord) {
+        let input = &mut self.inputs[i];
+        assert!(!input.finished, "push to finished fleet input {i}");
+        let rec = remap_record(rec, input.offsets);
+        debug_assert!(
+            rec.time >= input.last_time,
+            "fleet input {i} went backwards: {} after {}",
+            rec.time,
+            input.last_time
+        );
+        input.last_time = rec.time;
+        if input.queue.is_empty() && !input.in_heap {
+            input.in_heap = true;
+            self.heap.push(Reverse((rec.time, i)));
+        }
+        input.queue.push_back(rec);
+        self.buffered += 1;
+        if self.buffered > self.peak {
+            self.peak = self.buffered;
+            fleet_buffered_peak().record(self.peak as u64);
+        }
+    }
+
+    /// Advances input `i`'s progress watermark: everything it will ever
+    /// emit with a quantized time below `up_to_ms` has been pushed.
+    /// Watermarks never move backwards (lower values are ignored).
+    pub fn set_progress(&mut self, i: usize, up_to_ms: u64) {
+        let t = Timestamp::from_ms(up_to_ms);
+        let input = &mut self.inputs[i];
+        if t > input.progress {
+            input.progress = t;
+        }
+    }
+
+    /// Marks input `i` complete: no further pushes, and its records no
+    /// longer gate the fleet watermark.
+    pub fn finish_input(&mut self, i: usize) {
+        self.inputs[i].finished = true;
+    }
+
+    /// The fleet watermark: the minimum progress over unfinished
+    /// inputs, or `None` when every input has finished (nothing gates
+    /// the merge any more).
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.inputs
+            .iter()
+            .filter(|input| !input.finished)
+            .map(|input| input.progress)
+            .min()
+    }
+
+    /// Emits every releasable record to `sink` in `(time, input, push
+    /// order)` order: records strictly below the fleet watermark, or
+    /// everything buffered once all inputs have finished. Returns the
+    /// number of records written.
+    pub fn release(&mut self, sink: &mut dyn RecordSink) -> io::Result<u64> {
+        let gate = self.watermark();
+        let mut wrote = 0u64;
+        while let Some(&Reverse((time, i))) = self.heap.peek() {
+            if gate.is_some_and(|w| time >= w) {
+                break;
+            }
+            self.heap.pop();
+            let input = &mut self.inputs[i];
+            let rec = input.queue.pop_front().expect("heap entry has a record");
+            debug_assert_eq!(rec.time, time);
+            input.in_heap = false;
+            if let Some(next) = input.queue.front() {
+                input.in_heap = true;
+                self.heap.push(Reverse((next.time, i)));
+            }
+            self.buffered -= 1;
+            wrote += 1;
+            sink.write_record(&rec)?;
+        }
+        self.released += wrote;
+        Ok(wrote)
+    }
+
+    /// Releases everything left and consumes the merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has not been [`finish_input`]ed — draining
+    /// past a live watermark would break the determinism contract.
+    ///
+    /// [`finish_input`]: FleetMerge::finish_input
+    pub fn finish(mut self, sink: &mut dyn RecordSink) -> io::Result<u64> {
+        assert!(
+            self.watermark().is_none(),
+            "FleetMerge::finish with unfinished inputs"
+        );
+        self.release(sink)?;
+        debug_assert_eq!(self.buffered, 0);
+        Ok(self.released)
+    }
+
+    /// Records currently buffered across all inputs.
+    pub fn buffered(&self) -> usize {
+        self.buffered
+    }
+
+    /// Greatest number of records held at once.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Records released to the sink so far.
+    pub fn released(&self) -> u64 {
+        self.released
     }
 }
 
@@ -679,6 +893,175 @@ mod tests {
             .snapshot()
             .gauge("fstrace.pipeline.buffered_records_peak")
             .is_some_and(|v| v >= 3));
+    }
+
+    /// Feeds two in-memory traces through a [`FleetMerge`] in
+    /// `chunk`-sized pushes with progress published after each chunk,
+    /// releasing after every update.
+    fn fleet_merge_chunked(traces: &[&Trace], chunk: usize) -> Vec<TraceRecord> {
+        let offsets = auto_offsets(traces);
+        let mut m = FleetMerge::new(offsets);
+        let mut out: Vec<TraceRecord> = Vec::new();
+        let mut at: Vec<usize> = vec![0; traces.len()];
+        loop {
+            let mut moved = false;
+            for (i, t) in traces.iter().enumerate() {
+                let recs = t.records();
+                if at[i] >= recs.len() {
+                    continue;
+                }
+                moved = true;
+                let end = (at[i] + chunk).min(recs.len());
+                for r in &recs[at[i]..end] {
+                    m.push(i, r);
+                }
+                at[i] = end;
+                if end == recs.len() {
+                    m.set_progress(i, u64::MAX);
+                    m.finish_input(i);
+                } else {
+                    // Everything before the next record's raw time is
+                    // pushed; its own tick is still ambiguous.
+                    m.set_progress(i, recs[end].time.as_ms());
+                }
+                m.release(&mut out).unwrap();
+            }
+            if !moved {
+                break;
+            }
+        }
+        m.finish(&mut out).unwrap();
+        out
+    }
+
+    /// The same collision-free offsets [`merged_records`] would pick.
+    fn auto_offsets(traces: &[&Trace]) -> Vec<IdOffsets> {
+        let mut offsets = Vec::with_capacity(traces.len());
+        let mut off = IdOffsets::default();
+        for t in traces {
+            offsets.push(off);
+            let (o, f, u) = t.max_ids();
+            off.open += o + 1;
+            off.file += f + 1;
+            off.user += u + 1;
+        }
+        offsets
+    }
+
+    #[test]
+    fn fleet_merge_matches_pull_merge() {
+        let a = client(0, 5);
+        let b = client(35, 4);
+        let c = client(10, 3);
+        let expected: Vec<TraceRecord> = merged_records(&[&a, &b, &c])
+            .map(|r| r.expect("in-memory merge is infallible"))
+            .collect();
+        for chunk in [1, 2, 7, 100] {
+            assert_eq!(fleet_merge_chunked(&[&a, &b, &c], chunk), expected);
+        }
+    }
+
+    #[test]
+    fn fleet_merge_ties_break_by_input_then_push_order() {
+        // Two byte-identical inputs: every record collides on the same
+        // tick, so the output order is pure tie-breaking.
+        let a = client(100, 3);
+        let b = client(100, 3);
+        let expected: Vec<TraceRecord> = merged_records(&[&a, &b])
+            .map(|r| r.expect("in-memory merge is infallible"))
+            .collect();
+        let merged = fleet_merge_chunked(&[&a, &b], 2);
+        assert_eq!(merged, expected);
+        // Ties resolve input 0 first at every tied tick.
+        for w in merged.windows(2) {
+            if w[0].time == w[1].time {
+                continue;
+            }
+            assert!(w[0].time < w[1].time);
+        }
+    }
+
+    #[test]
+    fn fleet_merge_watermark_gates_release() {
+        let a = client(0, 5); // records at 0,30,70,100,...
+        let mut m = FleetMerge::new(vec![IdOffsets::default(), IdOffsets::default()]);
+        for r in a.records() {
+            m.push(0, r);
+        }
+        m.set_progress(0, u64::MAX);
+        m.finish_input(0);
+        // Input 1 is alive with progress 0: nothing may be released.
+        let mut out: Vec<TraceRecord> = Vec::new();
+        assert_eq!(m.release(&mut out).unwrap(), 0);
+        assert!(out.is_empty());
+        assert_eq!(m.buffered(), a.len());
+        // Progress to 70 ms releases exactly the records below tick 7.
+        m.set_progress(1, 70);
+        m.release(&mut out).unwrap();
+        assert!(out.iter().all(|r| r.time < Timestamp::from_ms(70)));
+        assert_eq!(
+            out.len(),
+            a.records()
+                .iter()
+                .filter(|r| r.time < Timestamp::from_ms(70))
+                .count()
+        );
+        m.finish_input(1);
+        m.finish(&mut out).unwrap();
+        assert_eq!(out, a.records());
+    }
+
+    #[test]
+    fn fleet_merge_tracks_peak_and_gauge() {
+        let a = client(0, 4);
+        let mut m = FleetMerge::new(vec![IdOffsets::default()]);
+        for r in a.records() {
+            m.push(0, r);
+        }
+        assert_eq!(m.peak(), a.len());
+        m.set_progress(0, u64::MAX);
+        m.finish_input(0);
+        let mut out: Vec<TraceRecord> = Vec::new();
+        let released = m.finish(&mut out).unwrap();
+        assert_eq!(released, a.len() as u64);
+        assert!(obs::global()
+            .snapshot()
+            .gauge("fstrace.fleet.buffered_records_peak")
+            .is_some_and(|v| v >= a.len() as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "unfinished inputs")]
+    fn fleet_merge_finish_requires_finished_inputs() {
+        let m = FleetMerge::new(vec![IdOffsets::default()]);
+        let mut out: Vec<TraceRecord> = Vec::new();
+        m.finish(&mut out).unwrap();
+    }
+
+    #[test]
+    fn reorder_buffer_drain_keeps_buffer_reusable() {
+        let rec = |t: u64, fid: u64| {
+            TraceRecord::new(
+                t,
+                TraceEvent::Unlink {
+                    file_id: FileId(fid),
+                    user_id: UserId(0),
+                },
+            )
+        };
+        let mut buf = ReorderBuffer::new();
+        buf.push(rec(30, 0));
+        buf.push(rec(10, 1));
+        let mut out: Vec<TraceRecord> = Vec::new();
+        buf.drain(&mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(buf.is_empty());
+        // Still usable after draining; peak carries over.
+        buf.push(rec(50, 2));
+        buf.drain(&mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(buf.peak(), 2);
     }
 
     #[test]

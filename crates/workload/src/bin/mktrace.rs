@@ -1,32 +1,47 @@
-//! `mktrace`: generate a synthetic trace and save it.
+//! `mktrace`: generate a synthetic trace — one machine or a fleet —
+//! and save it.
 //!
 //! ```text
-//! mktrace PROFILE [--hours H] [--seed S] [--out FILE] [--text]
+//! mktrace PROFILE[,PROFILE...] [--hours H] [--seed S] [--out FILE] [--text]
+//!         [--machines N] [--jobs N] [--user-scale F] [--epoch-ms MS]
 //!
-//! PROFILE: a5 | e3 | c4
+//! PROFILE: a5 | e3 | c4, comma-separated to mix
 //! ```
 //!
-//! The default output is the compact binary format; `--text` writes one
-//! record per line instead. `tracefmt` (in the fstrace crate) converts
-//! between the two.
+//! With `--machines 1` (the default) this is the single-machine
+//! generator. With `--machines N` it simulates a fleet: machine `i`
+//! runs profile `i % mix` with a count-independent seed, `--jobs`
+//! worker threads drive the machines concurrently, and the output is
+//! the time-ordered merge of all machines. The merged bytes are
+//! identical for every `--jobs` value.
+//!
+//! The default output is the compact binary stream format; `--text`
+//! writes one record per line, and an `--out` path ending in `.tsa`
+//! writes a tracestore archive (chunked, checksummed, compressed).
 //!
 //! Records stream from the generator straight into the encoder
-//! ([`workload::generate_into`]), so memory stays bounded no matter how
-//! many hours are simulated.
+//! ([`workload::generate_into`] / [`workload::generate_fleet_into`]),
+//! so memory stays bounded no matter how many hours or machines are
+//! simulated.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::exit;
 
-use fstrace::{TextSink, TraceWriter};
-use workload::{generate_into, MachineProfile, WorkloadConfig};
+use fstrace::{RecordSink, TextSink, TraceWriter};
+use tracestore::{ArchiveOptions, ArchiveWriter};
+use workload::{generate_fleet_into, generate_into, FleetConfig, MachineProfile, WorkloadConfig};
 
 fn main() {
-    let mut profile: Option<MachineProfile> = None;
+    let mut mix: Vec<MachineProfile> = Vec::new();
     let mut hours = 1.0f64;
     let mut seed = 1985u64;
     let mut out = "trace.fstr".to_string();
     let mut text = false;
+    let mut machines = 1usize;
+    let mut jobs = 1usize;
+    let mut user_scale = 1.0f64;
+    let mut epoch_ms = 60_000u64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,51 +57,180 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"))
             }
+            "--machines" => {
+                machines = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--machines needs a positive integer"))
+            }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"))
+            }
+            "--user-scale" => {
+                user_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &f64| s > 0.0)
+                    .unwrap_or_else(|| die("--user-scale needs a positive number"))
+            }
+            "--epoch-ms" => {
+                epoch_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--epoch-ms needs a positive integer"))
+            }
             "--out" | "-o" => {
                 out = args.next().unwrap_or_else(|| die("--out needs a path"));
             }
             "--text" => text = true,
             "--help" | "-h" => {
-                println!("usage: mktrace a5|e3|c4 [--hours H] [--seed S] [--out FILE] [--text]");
+                println!(
+                    "usage: mktrace a5|e3|c4[,...] [--hours H] [--seed S] [--out FILE] [--text]\n\
+                     \x20      [--machines N] [--jobs N] [--user-scale F] [--epoch-ms MS]"
+                );
                 return;
             }
-            name => match MachineProfile::by_trace_name(name) {
-                Some(p) => profile = Some(p),
-                None => die(&format!("unknown profile {name} (use a5, e3 or c4)")),
-            },
+            list => {
+                for name in list.split(',') {
+                    match MachineProfile::by_trace_name(name) {
+                        Some(p) => mix.push(p),
+                        None => die(&format!("unknown profile {name} (use a5, e3 or c4)")),
+                    }
+                }
+            }
         }
     }
-    let profile = profile.unwrap_or_else(|| die("missing profile (a5, e3 or c4)"));
+    if mix.is_empty() {
+        die("missing profile (a5, e3 or c4, comma-separated to mix)");
+    }
+
+    let file = File::create(&out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
+    let archive = out.ends_with(".tsa");
+    if text && archive {
+        die("--text and a .tsa output are mutually exclusive");
+    }
+
+    if machines == 1 && mix.len() == 1 {
+        let profile = mix.remove(0);
+        eprintln!(
+            "generating {} ({}) for {hours} simulated hours, seed {seed} ...",
+            profile.trace_name, profile.name
+        );
+        let config = WorkloadConfig {
+            profile,
+            seed,
+            duration_hours: hours,
+            ..WorkloadConfig::default()
+        };
+        let (records, bytes) = run_single(&config, file, text, archive, &out);
+        report(&out, records, bytes);
+        return;
+    }
+
+    let names: Vec<&str> = mix.iter().map(|p| p.trace_name).collect();
     eprintln!(
-        "generating {} ({}) for {hours} simulated hours, seed {seed} ...",
-        profile.trace_name, profile.name
+        "generating a fleet of {machines} machines (mix {}) for {hours} simulated hours, \
+         seed {seed}, {jobs} jobs ...",
+        names.join(",")
     );
-    let config = WorkloadConfig {
-        profile,
+    let config = FleetConfig {
+        mix,
+        machines,
         seed,
         duration_hours: hours,
-        ..WorkloadConfig::default()
+        user_scale,
+        jobs,
+        epoch_ms,
+        ..FleetConfig::default()
     };
-    let file = File::create(&out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
-    let (records, bytes) = if text {
+    let (stats, bytes) = if text {
+        let mut sink = TextSink::new(BufWriter::new(file));
+        let stats = gen_fleet(&config, &mut sink);
+        sink.into_inner()
+            .flush()
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
+        (stats, None)
+    } else if archive {
+        let opts = ArchiveOptions {
+            name: format!("fleet-{machines}x"),
+            ..ArchiveOptions::default()
+        };
+        let mut sink = ArchiveWriter::new(BufWriter::new(file), opts)
+            .unwrap_or_else(|e| die(&format!("write header: {e}")));
+        let stats = gen_fleet(&config, &mut sink);
+        let (mut w, summary) = sink
+            .finish()
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
+        w.flush().unwrap_or_else(|e| die(&format!("write: {e}")));
+        (stats, Some(summary.bytes))
+    } else {
+        let mut sink = TraceWriter::new(BufWriter::new(file))
+            .unwrap_or_else(|e| die(&format!("write header: {e}")));
+        let stats = gen_fleet(&config, &mut sink);
+        let bytes = sink.bytes_written();
+        sink.into_inner()
+            .and_then(|mut w| w.flush())
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
+        (stats, Some(bytes))
+    };
+    eprint!("{}", stats.render_table());
+    report(&out, stats.records, bytes);
+}
+
+fn gen_fleet(config: &FleetConfig, sink: &mut dyn RecordSink) -> workload::FleetStats {
+    generate_fleet_into(config, sink).unwrap_or_else(|e| die(&format!("generate: {e}")))
+}
+
+fn run_single(
+    config: &WorkloadConfig,
+    file: File,
+    text: bool,
+    archive: bool,
+    out: &str,
+) -> (u64, Option<u64>) {
+    if text {
         let mut sink = TextSink::new(BufWriter::new(file));
         let stream =
-            generate_into(&config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+            generate_into(config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
         sink.into_inner()
             .flush()
             .unwrap_or_else(|e| die(&format!("write: {e}")));
         (stream.records, None)
+    } else if archive {
+        let opts = ArchiveOptions {
+            name: config.profile.trace_name.to_string(),
+            ..ArchiveOptions::default()
+        };
+        let mut sink = ArchiveWriter::new(BufWriter::new(file), opts)
+            .unwrap_or_else(|e| die(&format!("write header: {e}")));
+        let stream =
+            generate_into(config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+        let (mut w, summary) = sink
+            .finish()
+            .unwrap_or_else(|e| die(&format!("write: {e}")));
+        w.flush()
+            .unwrap_or_else(|e| die(&format!("write {out}: {e}")));
+        (stream.records, Some(summary.bytes))
     } else {
         let mut sink = TraceWriter::new(BufWriter::new(file))
             .unwrap_or_else(|e| die(&format!("write header: {e}")));
         let stream =
-            generate_into(&config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
+            generate_into(config, &mut sink).unwrap_or_else(|e| die(&format!("generate: {e}")));
         let bytes = sink.bytes_written();
         sink.into_inner()
             .and_then(|mut w| w.flush())
             .unwrap_or_else(|e| die(&format!("write: {e}")));
         (stream.records, Some(bytes))
-    };
+    }
+}
+
+fn report(out: &str, records: u64, bytes: Option<u64>) {
     eprintln!(
         "wrote {}: {} records{}",
         out,

@@ -8,7 +8,7 @@ use std::io;
 use std::sync::OnceLock;
 
 use bsdfs::{Fd, Fs, FsError, FsParams, FsResult, OpenFlags, SeekFrom};
-use fstrace::{RecordSink, ReorderBuffer, Trace, TraceEvent, TraceRecord};
+use fstrace::{EventKind, RecordSink, ReorderBuffer, Trace, TraceEvent, TraceRecord};
 
 use crate::apps::Ctx;
 use crate::namespace::{self, Namespace};
@@ -67,6 +67,8 @@ pub struct GeneratedStream {
     pub records: u64,
     /// Most simultaneously open files at any point in the trace.
     pub live_sessions_peak: u64,
+    /// Per-kind record counts, indexed like [`EventKind::ALL`].
+    pub event_counts: [u64; 7],
 }
 
 /// Why a streaming workload run stopped.
@@ -109,18 +111,24 @@ fn live_sessions_peak_gauge() -> &'static obs::Gauge {
     CELL.get_or_init(|| obs::global().gauge("workload.live_sessions_peak"))
 }
 
-/// Wraps the caller's sink to count records and track how many files
-/// are simultaneously open as records stream past in time order.
-struct CountingSink<'a> {
-    inner: &'a mut dyn RecordSink,
+/// Running tallies over one machine's record stream: totals, per-kind
+/// counts, and how many files are simultaneously open as records stream
+/// past in time order.
+#[derive(Debug, Default)]
+struct StreamCounters {
     records: u64,
     live: u64,
     peak: u64,
+    events: [u64; 7],
 }
 
-impl RecordSink for CountingSink<'_> {
-    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+impl StreamCounters {
+    fn observe(&mut self, rec: &TraceRecord) {
         self.records += 1;
+        let kind = rec.event.kind();
+        if let Some(slot) = EventKind::ALL.iter().position(|&k| k == kind) {
+            self.events[slot] += 1;
+        }
         match rec.event {
             TraceEvent::Open { .. } => {
                 self.live += 1;
@@ -129,6 +137,18 @@ impl RecordSink for CountingSink<'_> {
             TraceEvent::Close { .. } => self.live = self.live.saturating_sub(1),
             _ => {}
         }
+    }
+}
+
+/// Wraps the caller's sink to update [`StreamCounters`] on the way by.
+struct CountingSink<'a> {
+    inner: &'a mut dyn RecordSink,
+    counters: &'a mut StreamCounters,
+}
+
+impl RecordSink for CountingSink<'_> {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.counters.observe(rec);
         self.inner.write_record(rec)
     }
 }
@@ -220,101 +240,234 @@ pub fn generate_into(
     sink: &mut dyn RecordSink,
 ) -> Result<GeneratedStream, GenerateError> {
     let _timing = obs::global().span("workload.generate").start();
-    let mut out = CountingSink {
-        inner: sink,
-        records: 0,
-        live: 0,
-        peak: 0,
-    };
-    let mut buf = ReorderBuffer::new();
-    let mut fs = Fs::new(config.fs_params.clone())?;
-    let mut master = Sampler::new(config.seed);
-    fs.set_trace_enabled(false);
-    let mut ns = namespace::build(&mut fs, &mut master, &config.profile)?;
-    fs.sync(0);
-    fs.set_trace_enabled(true);
+    let mut sim = MachineSim::new(config)?;
+    sim.advance(u64::MAX, sink)?;
+    sim.seal(sink)
+}
 
-    let end_ms = (config.duration_hours * 3_600_000.0) as u64;
-    let mut actors: Vec<Actor> = Vec::new();
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    for uid in 0..config.profile.users {
-        let rng = master.derive(uid as u64 + 1);
-        actors.push(Actor::User(UserActor {
-            uid,
-            rng,
-            phase: Phase::Idle,
+/// One simulated machine, resumable in bounded time slices.
+///
+/// [`generate_into`] drives a `MachineSim` to completion in a single
+/// call; the fleet runner instead interleaves many machines by
+/// advancing each one epoch at a time. [`advance`](MachineSim::advance)
+/// runs every actor step scheduled before a time horizon,
+/// [`flush_to`](MachineSim::flush_to) releases the buffered records
+/// that are final before that horizon, and [`seal`](MachineSim::seal)
+/// performs the final `sync`, drains the tail, and returns the run's
+/// products. Slicing never changes the output: the same config yields a
+/// byte-identical record stream whether the machine is driven in one
+/// call or in thousands of slices, because every record's position in
+/// the stream depends only on the simulated clock, never on when the
+/// caller chose to advance it.
+pub struct MachineSim {
+    profile: MachineProfile,
+    end_ms: u64,
+    fs: Fs,
+    ns: Namespace,
+    actors: Vec<Actor>,
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    buf: ReorderBuffer,
+    counters: StreamCounters,
+    errors: u64,
+    steps: u64,
+}
+
+impl MachineSim {
+    /// Builds the machine: file system, namespace, and actor schedule.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initial namespace cannot be built (e.g. the
+    /// configured disk is too small for the profile's file population).
+    pub fn new(config: &WorkloadConfig) -> Result<Self, GenerateError> {
+        let mut fs = Fs::new(config.fs_params.clone())?;
+        let mut master = Sampler::new(config.seed);
+        fs.set_trace_enabled(false);
+        let ns = namespace::build(&mut fs, &mut master, &config.profile)?;
+        fs.sync(0);
+        fs.set_trace_enabled(true);
+
+        let end_ms = (config.duration_hours * 3_600_000.0) as u64;
+        let mut actors: Vec<Actor> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        for uid in 0..config.profile.users {
+            let rng = master.derive(uid as u64 + 1);
+            actors.push(Actor::User(UserActor {
+                uid,
+                rng,
+                phase: Phase::Idle,
+            }));
+            // Stagger user starts across the first ten minutes.
+            let start = master.range(1_000, 600_000.min(end_ms.max(2_000)));
+            heap.push(Reverse((start, actors.len() - 1)));
+        }
+        actors.push(Actor::Daemon(StatusDaemon {
+            rng: master.derive(0x0dae),
         }));
-        // Stagger user starts across the first ten minutes.
-        let start = master.range(1_000, 600_000.min(end_ms.max(2_000)));
-        heap.push(Reverse((start, actors.len() - 1)));
-    }
-    actors.push(Actor::Daemon(StatusDaemon {
-        rng: master.derive(0x0dae),
-    }));
-    heap.push(Reverse((master.range(1_000, 30_000), actors.len() - 1)));
-    actors.push(Actor::Spooler(Spooler {
-        rng: master.derive(0x0590),
-    }));
-    heap.push(Reverse((60_000.min(end_ms), actors.len() - 1)));
+        heap.push(Reverse((master.range(1_000, 30_000), actors.len() - 1)));
+        actors.push(Actor::Spooler(Spooler {
+            rng: master.derive(0x0590),
+        }));
+        heap.push(Reverse((60_000.min(end_ms), actors.len() - 1)));
 
-    let mut errors = 0u64;
-    let mut steps = 0u64;
-    while let Some(Reverse((now, idx))) = heap.pop() {
-        steps += 1;
-        // Wake times pop in nondecreasing order and every step emits at
-        // or after its wake time, so anything buffered before `now` is
-        // final and can stream out.
-        buf.release_before(now, &mut out)?;
-        if now >= end_ms {
-            continue;
-        }
-        let wake = match &mut actors[idx] {
-            Actor::User(u) => match step_user(u, &mut fs, &mut ns, &config.profile, now) {
-                Ok(wake) => wake,
-                Err(_) => {
-                    errors += 1;
-                    u.phase = Phase::Idle; // Reset and try again later.
-                    now + 60_000
-                }
-            },
-            Actor::Daemon(d) => match step_daemon(d, &mut fs, &mut ns, &config.profile, now) {
-                Ok(()) => now + config.profile.daemon_interval_ms,
-                Err(_) => {
-                    errors += 1;
-                    now + config.profile.daemon_interval_ms
-                }
-            },
-            Actor::Spooler(s) => {
-                match step_spooler(s, &mut fs, &mut ns, now) {
-                    Ok(()) => {}
-                    Err(_) => errors += 1,
-                }
-                now + 90_000
+        Ok(MachineSim {
+            profile: config.profile.clone(),
+            end_ms,
+            fs,
+            ns,
+            actors,
+            heap,
+            buf: ReorderBuffer::new(),
+            counters: StreamCounters::default(),
+            errors: 0,
+            steps: 0,
+        })
+    }
+
+    /// Wake time of the next scheduled actor step, if any remain.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.heap.peek().map(|&Reverse((t, _))| t)
+    }
+
+    /// `true` once every actor has run past the end of the trace and
+    /// nothing is scheduled.
+    pub fn idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// End of the simulated span in milliseconds.
+    pub fn end_ms(&self) -> u64 {
+        self.end_ms
+    }
+
+    /// Records streamed to sinks so far.
+    pub fn records(&self) -> u64 {
+        self.counters.records
+    }
+
+    /// Runs every actor step scheduled strictly before `t_limit_ms`,
+    /// streaming records to `sink` as they become final.
+    ///
+    /// Records still ambiguous at return (their times may yet be
+    /// interleaved by future steps) stay buffered; pair with
+    /// [`flush_to`](MachineSim::flush_to) to release the prefix that a
+    /// time horizon makes final.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sink` rejects a record; runtime command errors are
+    /// counted instead (see [`GeneratedStream::errors`]).
+    pub fn advance(
+        &mut self,
+        t_limit_ms: u64,
+        sink: &mut dyn RecordSink,
+    ) -> Result<(), GenerateError> {
+        while self.next_wake().is_some_and(|t| t < t_limit_ms) {
+            let Some(Reverse((now, idx))) = self.heap.pop() else {
+                unreachable!("peeked wake vanished");
+            };
+            self.steps += 1;
+            // Wake times pop in nondecreasing order and every step
+            // emits at or after its wake time, so anything buffered
+            // before `now` is final and can stream out.
+            self.buf.release_before(
+                now,
+                &mut CountingSink {
+                    inner: sink,
+                    counters: &mut self.counters,
+                },
+            )?;
+            if now >= self.end_ms {
+                continue;
             }
-        };
-        heap.push(Reverse((wake, idx)));
-        for rec in fs.drain_trace_records() {
-            buf.push(rec);
+            let wake = match &mut self.actors[idx] {
+                Actor::User(u) => {
+                    match step_user(u, &mut self.fs, &mut self.ns, &self.profile, now) {
+                        Ok(wake) => wake,
+                        Err(_) => {
+                            self.errors += 1;
+                            u.phase = Phase::Idle; // Reset and try again later.
+                            now + 60_000
+                        }
+                    }
+                }
+                Actor::Daemon(d) => {
+                    match step_daemon(d, &mut self.fs, &mut self.ns, &self.profile, now) {
+                        Ok(()) => now + self.profile.daemon_interval_ms,
+                        Err(_) => {
+                            self.errors += 1;
+                            now + self.profile.daemon_interval_ms
+                        }
+                    }
+                }
+                Actor::Spooler(s) => {
+                    match step_spooler(s, &mut self.fs, &mut self.ns, now) {
+                        Ok(()) => {}
+                        Err(_) => self.errors += 1,
+                    }
+                    now + 90_000
+                }
+            };
+            self.heap.push(Reverse((wake, idx)));
+            self.fs.drain_trace_into(&mut self.buf);
         }
+        Ok(())
     }
-    fs.sync(end_ms);
-    for rec in fs.drain_trace_records() {
-        buf.push(rec);
+
+    /// Releases every buffered record whose (quantized) time falls
+    /// strictly before `t_limit_ms`, leaving later records buffered for
+    /// the next slice.
+    ///
+    /// After `advance(t)` + `flush_to(t)`, everything this machine will
+    /// ever emit before `t` has reached the sink — the property the
+    /// fleet merge's per-machine progress watermark relies on.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sink` rejects a record.
+    pub fn flush_to(&mut self, t_limit_ms: u64, sink: &mut dyn RecordSink) -> io::Result<()> {
+        self.buf.release_before(
+            t_limit_ms,
+            &mut CountingSink {
+                inner: sink,
+                counters: &mut self.counters,
+            },
+        )
     }
-    buf.finish(&mut out)?;
-    let (records, peak) = (out.records, out.peak);
-    live_sessions_peak_gauge().record(peak);
-    // Batch-add to the global counters once per run: the hot loop stays
-    // free of shared-cell traffic.
-    obs::global().counter("workload.actor_steps").add(steps);
-    obs::global().counter("workload.errors").add(errors);
-    obs::global().counter("workload.events").add(records);
-    Ok(GeneratedStream {
-        fs,
-        errors,
-        records,
-        live_sessions_peak: peak,
-    })
+
+    /// Ends the run: final `sync` at the trace end, tail drain, and
+    /// batch export of the run's metrics to the global [`obs`]
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sink` rejects a record.
+    pub fn seal(mut self, sink: &mut dyn RecordSink) -> Result<GeneratedStream, GenerateError> {
+        debug_assert!(self.idle(), "seal before the schedule drained");
+        self.fs.sync(self.end_ms);
+        self.fs.drain_trace_into(&mut self.buf);
+        self.buf.drain(&mut CountingSink {
+            inner: sink,
+            counters: &mut self.counters,
+        })?;
+        live_sessions_peak_gauge().record(self.counters.peak);
+        // Batch-add to the global counters once per run: the hot loop
+        // stays free of shared-cell traffic.
+        obs::global()
+            .counter("workload.actor_steps")
+            .add(self.steps);
+        obs::global().counter("workload.errors").add(self.errors);
+        obs::global()
+            .counter("workload.events")
+            .add(self.counters.records);
+        Ok(GeneratedStream {
+            fs: self.fs,
+            errors: self.errors,
+            records: self.counters.records,
+            live_sessions_peak: self.counters.peak,
+            event_counts: self.counters.events,
+        })
+    }
 }
 
 /// One step of a user actor; returns the next wake time.

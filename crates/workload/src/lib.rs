@@ -44,12 +44,15 @@
 
 mod apps;
 mod engine;
+mod fleet;
 mod namespace;
 mod profile;
 mod rng;
 
 pub use engine::{
-    generate, generate_into, GenerateError, GeneratedStream, GeneratedTrace, WorkloadConfig,
+    generate, generate_into, GenerateError, GeneratedStream, GeneratedTrace, MachineSim,
+    WorkloadConfig,
 };
+pub use fleet::{generate_fleet, generate_fleet_into, FleetConfig, FleetStats, MachineStats};
 pub use profile::{CommandKind, MachineProfile};
-pub use rng::Sampler;
+pub use rng::{stream_seed, Sampler};
