@@ -223,6 +223,43 @@ awk -F'[:,]' '
     }' target/artifacts/BENCH_7.json
 echo "   wrote target/artifacts/BENCH_7.json"
 
+echo "== cross-fidelity experiment smoke"
+# The fidelity experiment replays the Table VI grid at block, syscall,
+# and open fidelity in one sweep and renders the divergence table; the
+# smoke requires it to run end-to-end and produce that table.
+./target/release/repro fidelity --hours 0.1 > target/artifacts/fidelity_smoke.txt
+grep -q "Cross-fidelity" target/artifacts/fidelity_smoke.txt || {
+    echo "   fidelity: divergence table missing from output"; exit 1
+}
+echo "   fidelity: divergence table rendered (target/artifacts/fidelity_smoke.txt)"
+
+echo "== replay-fidelity benchmark artifact"
+# Replay throughput per fidelity over the same trace. Coarser
+# fidelities expand fewer events and skip per-block byte accounting,
+# so syscall replay must not be slower than block replay: >= 1.0x on
+# 2+ cores, with a 0.9x floor on single-core containers where timer
+# noise can eat the margin.
+./target/release/fidelitybench --hours 0.5 --seed 1985 --json \
+    > target/artifacts/BENCH_8.json
+awk -F'[:,]' '
+    /"cores"/ { cores = $2 }
+    /"block_records_per_s"/ { block = $2 }
+    /"syscall_records_per_s"/ { syscall = $2 }
+    /"open_records_per_s"/ { open = $2 }
+    /"syscall_speedup"/ { speedup = $2 }
+    END {
+        if (block + 0 <= 0) { print "   fidelity: block throughput missing"; exit 1 }
+        if (syscall + 0 <= 0) { print "   fidelity: syscall throughput missing"; exit 1 }
+        if (open + 0 <= 0) { print "   fidelity: open throughput missing"; exit 1 }
+        floor = (cores + 0 >= 2) ? 1.0 : 0.9
+        if (speedup + 0 < floor) {
+            print "   fidelity: syscall replay " speedup "x < " floor "x block (" cores " cores)"; exit 1
+        }
+        printf "   fidelity: block %.0f, syscall %.0f, open %.0f rec/s (syscall %sx, floor %sx on %s core(s))\n", \
+            block, syscall, open, speedup, floor, cores
+    }' target/artifacts/BENCH_8.json
+echo "   wrote target/artifacts/BENCH_8.json"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

@@ -12,6 +12,7 @@ fn standard_set() -> TraceSet {
     TraceSet::generate(&ReproConfig {
         hours: 0.2,
         seed: 1985,
+        ..ReproConfig::default()
     })
     .expect("trace set")
 }
@@ -71,6 +72,7 @@ fn bench_trace_generation(c: &mut Criterion) {
             TraceSet::generate(&ReproConfig {
                 hours: 0.1,
                 seed: 5,
+                ..ReproConfig::default()
             })
             .unwrap()
         })

@@ -47,6 +47,22 @@ impl FsParams {
         }
     }
 
+    /// A memory-frugal configuration for fleet-scale trace generation
+    /// (DESIGN.md §14): identical block geometry and cache sizes to
+    /// [`FsParams::bsd42`] — so per-machine cache behavior is
+    /// unchanged — but a 48 Mbyte data region and a quarter of the
+    /// inodes. Hundreds of simulated machines each carry a full `Fs`;
+    /// the allocator bitmaps and inode table dominate that footprint
+    /// and scale with the data region, not with the cache.
+    pub fn fleet() -> Self {
+        FsParams {
+            data_frags: 48 * 1024, // 48 Mbytes of data space.
+            ninodes: 16_384,
+            cyl_groups: 8,
+            ..FsParams::bsd42()
+        }
+    }
+
     /// A small configuration for unit tests: 8 Mbytes of data space.
     pub fn small() -> Self {
         FsParams {
@@ -120,6 +136,7 @@ mod tests {
     #[test]
     fn presets_are_valid() {
         FsParams::bsd42().validate().unwrap();
+        FsParams::fleet().validate().unwrap();
         FsParams::small().validate().unwrap();
         FsParams::tiny().validate().unwrap();
     }
@@ -127,6 +144,19 @@ mod tests {
     #[test]
     fn block_size_is_product() {
         assert_eq!(FsParams::bsd42().block_size(), 4096);
+    }
+
+    #[test]
+    fn fleet_preset_keeps_cache_geometry() {
+        let fleet = FsParams::fleet();
+        let bsd = FsParams::bsd42();
+        assert_eq!(fleet.block_size(), bsd.block_size());
+        assert_eq!(fleet.bcache_bytes, bsd.bcache_bytes);
+        assert_eq!(fleet.ncache_entries, bsd.ncache_entries);
+        assert_eq!(fleet.icache_entries, bsd.icache_entries);
+        assert_eq!(fleet.sync_interval_ms, bsd.sync_interval_ms);
+        assert!(fleet.data_frags < bsd.data_frags);
+        assert!(fleet.ninodes < bsd.ninodes);
     }
 
     #[test]

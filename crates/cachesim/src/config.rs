@@ -56,6 +56,66 @@ pub enum Replacement {
     Fifo,
 }
 
+/// Replay fidelity: the granularity at which a logical trace is
+/// expanded into cache accesses (DESIGN.md §15).
+///
+/// The taxonomy follows Kahanwal & Singh's replay-fidelity levels.
+/// Every level consumes the same trace records through the same
+/// expansion layer; what changes is how much of the original request
+/// structure survives into the replayed events:
+///
+/// * [`Block`]: the paper's expansion — every sequential run is split
+///   into block-size accesses with per-block byte accounting
+///   (partial-overwrite fetches, per-block whole-write elision). This
+///   is the pre-refactor behavior, kept bit-identical.
+/// * [`Syscall`]: one replay event per logical operation (the run a
+///   `seek`/`close` bills), carrying the covering block-run extent.
+///   The replayer touches the same blocks but skips per-block byte
+///   accounting: requests are quantized to block units at op
+///   granularity, so partial-block write fetches disappear.
+/// * [`Open`]: one replay event per open-close session, reconstructed
+///   from the open table's transfer totals and billed at close time as
+///   a single sequential run from offset 0. Intra-session structure
+///   (seek patterns, run offsets) is not preserved.
+///
+/// [`Block`]: Fidelity::Block
+/// [`Syscall`]: Fidelity::Syscall
+/// [`Open`]: Fidelity::Open
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Whole-session replay (coarsest).
+    Open,
+    /// Per-operation replay without block decomposition.
+    Syscall,
+    /// Per-block replay with byte accounting (the paper's simulator).
+    #[default]
+    Block,
+}
+
+impl Fidelity {
+    /// All fidelities, finest first (reference level leads).
+    pub const ALL: [Fidelity; 3] = [Fidelity::Block, Fidelity::Syscall, Fidelity::Open];
+
+    /// Short lowercase name, accepted back by [`Fidelity::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fidelity::Open => "open",
+            Fidelity::Syscall => "syscall",
+            Fidelity::Block => "block",
+        }
+    }
+
+    /// Parses a name as produced by [`Fidelity::name`].
+    pub fn parse(s: &str) -> Option<Fidelity> {
+        match s {
+            "open" => Some(Fidelity::Open),
+            "syscall" => Some(Fidelity::Syscall),
+            "block" => Some(Fidelity::Block),
+            _ => None,
+        }
+    }
+}
+
 /// How to bill runs from read-write opens, whose direction the
 /// no-read-write trace cannot determine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -91,6 +151,9 @@ pub struct CacheConfig {
     /// Approximate program paging by a whole-file read per `execve`
     /// (Figure 7).
     pub simulate_paging: bool,
+    /// Replay fidelity (expansion granularity); [`Fidelity::Block`] is
+    /// the paper's simulator and the default.
+    pub fidelity: Fidelity,
 }
 
 impl Default for CacheConfig {
@@ -108,6 +171,7 @@ impl Default for CacheConfig {
             invalidate_on_delete: true,
             rw_handling: RwHandling::Write,
             simulate_paging: false,
+            fidelity: Fidelity::Block,
         }
     }
 }
@@ -163,5 +227,15 @@ mod tests {
     fn table_vi_order() {
         assert_eq!(WritePolicy::TABLE_VI[0], WritePolicy::WriteThrough);
         assert_eq!(WritePolicy::TABLE_VI[3], WritePolicy::DelayedWrite);
+    }
+
+    #[test]
+    fn fidelity_names_round_trip() {
+        for f in Fidelity::ALL {
+            assert_eq!(Fidelity::parse(f.name()), Some(f));
+        }
+        assert_eq!(Fidelity::parse("nope"), None);
+        assert_eq!(Fidelity::default(), Fidelity::Block);
+        assert_eq!(Fidelity::ALL[0], Fidelity::Block);
     }
 }

@@ -20,7 +20,10 @@
 //!   dropped from the cache, dirty ones *without ever being written*,
 //!   which is the mechanism behind delayed-write's large win;
 //! * **paging approximation** (Figure 7) — each `execve` forces a
-//!   whole-file read of the program file.
+//!   whole-file read of the program file;
+//! * **replay fidelity** ([`Fidelity`], DESIGN.md §15) — the same trace
+//!   replayable at block, syscall, or open-session granularity, with
+//!   block fidelity (the paper's simulator) as the default.
 //!
 //! # Examples
 //!
@@ -62,9 +65,12 @@ pub mod stack;
 pub mod sweep;
 
 pub use cache::{BlockCache, BlockId};
-pub use config::{CacheConfig, Replacement, RwHandling, WritePolicy};
+pub use config::{CacheConfig, Fidelity, Replacement, RwHandling, WritePolicy};
 pub use metrics::CacheMetrics;
-pub use replay::{expansion_count, replay_events, EventExpander, ReplayEvent, Replayer, Simulator};
+pub use replay::{
+    expansion_count, replay_events, BlockExpander, EventExpander, OpenExpander, ReplayEvent,
+    Replayer, Simulator, SyscallExpander,
+};
 pub use series::{MissSeries, SeriesPoint};
 pub use stack::StackEngine;
 pub use sweep::ExpansionKey;

@@ -1,16 +1,27 @@
 //! Converting a logical trace into block accesses and replaying them.
 //!
 //! Each sequential run reconstructed from the trace is billed at the
-//! time of the `seek` or `close` that ended it (Section 3.1), split into
-//! block accesses of the configured size (Section 6.1: "we assumed that
-//! programs made requests in units of the cache block size").
+//! time of the `seek` or `close` that ended it (Section 3.1). How a run
+//! reaches the cache depends on the configured [`Fidelity`]
+//! (DESIGN.md §15):
+//!
+//! * [`Fidelity::Block`] splits runs into block accesses of the
+//!   configured size with per-block byte accounting (Section 6.1: "we
+//!   assumed that programs made requests in units of the cache block
+//!   size") — the paper's simulator, kept bit-identical across the
+//!   fidelity refactor.
+//! * [`Fidelity::Syscall`] emits one [`ReplayEvent::Op`] per run; the
+//!   replayer touches the same covering block range but skips byte
+//!   accounting.
+//! * [`Fidelity::Open`] emits one [`ReplayEvent::Op`] per open-close
+//!   session, reconstructed from the session's transfer total.
 
 use std::collections::HashMap;
 
 use fstrace::{AccessMode, FileId, OpenId, Trace, TraceEvent, TraceRecord};
 
 use crate::cache::{BlockCache, BlockId};
-use crate::config::{CacheConfig, RwHandling};
+use crate::config::{CacheConfig, Fidelity, RwHandling};
 use crate::metrics::CacheMetrics;
 
 /// One step of the replay, in time order.
@@ -34,6 +45,22 @@ pub enum ReplayEvent {
         /// Starting byte offset.
         offset: u64,
         /// Length in bytes (positive).
+        len: u64,
+        /// `true` for writes.
+        write: bool,
+    },
+    /// A logical operation replayed as a unit (syscall/open fidelity):
+    /// the replayer accesses the covering block run without per-block
+    /// byte accounting — requests are quantized to block units at op
+    /// granularity, so writes never pay a read-modify-write fetch.
+    Op {
+        /// Billing time (ms): the ending `seek`/`close`.
+        time_ms: u64,
+        /// The file.
+        file: FileId,
+        /// Starting byte offset of the extent.
+        offset: u64,
+        /// Extent length in bytes (positive).
         len: u64,
         /// `true` for writes.
         write: bool,
@@ -62,6 +89,7 @@ impl ReplayEvent {
         match *self {
             ReplayEvent::SizeHint { time_ms, .. }
             | ReplayEvent::Transfer { time_ms, .. }
+            | ReplayEvent::Op { time_ms, .. }
             | ReplayEvent::TruncateTo { time_ms, .. }
             | ReplayEvent::Delete { time_ms, .. } => time_ms,
         }
@@ -103,82 +131,151 @@ pub fn replay_events(trace: &Trace, config: &CacheConfig) -> Vec<ReplayEvent> {
     events
 }
 
+/// Expansion options that direct run billing, shared by every
+/// fidelity's expander.
+#[derive(Clone, Copy)]
+struct Billing {
+    rw_handling: RwHandling,
+    simulate_paging: bool,
+}
+
+impl Billing {
+    /// Calls `emit` once per billed direction for an access mode —
+    /// reads, writes, or (read-write under [`RwHandling::Both`]) the
+    /// read before the write.
+    fn directions(&self, mode: AccessMode, emit: &mut impl FnMut(bool)) {
+        match (mode, self.rw_handling) {
+            (AccessMode::ReadOnly, _) | (AccessMode::ReadWrite, RwHandling::Read) => {
+                emit(false);
+            }
+            (AccessMode::WriteOnly, _) | (AccessMode::ReadWrite, RwHandling::Write) => {
+                emit(true);
+            }
+            (AccessMode::ReadWrite, RwHandling::Both) => {
+                emit(false);
+                emit(true);
+            }
+        }
+    }
+}
+
 /// In-flight position tracking for one open file during expansion.
 struct PendingOpen {
     file: FileId,
     mode: AccessMode,
     pos: u64,
+    /// Total bytes transferred over the session's runs — the
+    /// open-fidelity expander's session-reconstruction input.
+    total: u64,
 }
 
-/// Streaming trace expansion: feed records in time order, receive the
-/// replay events they imply, in a canonical per-record order.
-///
-/// Each record's events are emitted the moment the record arrives:
-///
-/// * `open` → [`ReplayEvent::SizeHint`], then a zeroing
-///   [`ReplayEvent::TruncateTo`] if the open created/truncated the file;
-/// * `seek`/`close` → the [`ReplayEvent::Transfer`]s for the sequential
-///   run the event bills (for read-write opens under
-///   [`RwHandling::Both`], the read precedes the write);
-/// * `unlink` → [`ReplayEvent::Delete`];
-/// * `truncate` → [`ReplayEvent::TruncateTo`];
-/// * `execve` → a paging read when `simulate_paging` is on.
-///
-/// Event times are therefore nondecreasing whenever the input records
-/// are, which is what [`Replayer`] and [`crate::MissSeries`] require.
-/// Memory is O(simultaneously open files), never O(records) — this is
-/// what lets a sweep cell consume a multi-day trace straight from disk.
-pub struct EventExpander {
-    rw_handling: RwHandling,
-    simulate_paging: bool,
+/// A sequential run ended by a `seek` or `close` (Section 3.1).
+struct Run {
+    file: FileId,
+    mode: AccessMode,
+    offset: u64,
+    len: u64,
+}
+
+/// The open-table machinery shared by every fidelity's expander:
+/// tracks in-flight opens, reconstructs the sequential runs that
+/// `seek`/`close` events bill, and accumulates per-session transfer
+/// totals. Memory is O(simultaneously open files), never O(records).
+#[derive(Default)]
+struct OpenTable {
     pending: HashMap<OpenId, PendingOpen>,
 }
 
-impl EventExpander {
-    /// Creates an expander for a configuration, counting one expansion
-    /// in `cachesim.replay.expansions`.
-    pub fn new(config: &CacheConfig) -> Self {
-        expansions_counter().inc();
-        EventExpander {
-            rw_handling: config.rw_handling,
-            simulate_paging: config.simulate_paging,
-            pending: HashMap::new(),
-        }
+impl OpenTable {
+    /// Starts tracking a session at position 0.
+    fn open(&mut self, open_id: OpenId, file: FileId, mode: AccessMode) {
+        self.pending.insert(
+            open_id,
+            PendingOpen {
+                file,
+                mode,
+                pos: 0,
+                total: 0,
+            },
+        );
     }
 
-    /// Emits the transfer(s) billed for one sequential run.
-    fn transfer(
-        &self,
-        emit: &mut impl FnMut(ReplayEvent),
-        time_ms: u64,
-        file: FileId,
-        mode: AccessMode,
-        offset: u64,
-        len: u64,
-    ) {
-        let event = |write| ReplayEvent::Transfer {
+    /// Ends the run a `seek` bills (if any) and repositions.
+    fn seek(&mut self, open_id: OpenId, old_pos: u64, new_pos: u64) -> Option<Run> {
+        let p = self.pending.get_mut(&open_id)?;
+        let run = if old_pos > p.pos {
+            let len = old_pos - p.pos;
+            p.total += len;
+            Some(Run {
+                file: p.file,
+                mode: p.mode,
+                offset: p.pos,
+                len,
+            })
+        } else {
+            None
+        };
+        p.pos = new_pos;
+        run
+    }
+
+    /// Ends the session a `close` ends, returning it together with its
+    /// final run (if any), already folded into the session total.
+    fn close(&mut self, open_id: OpenId, final_pos: u64) -> Option<(PendingOpen, Option<Run>)> {
+        let mut p = self.pending.remove(&open_id)?;
+        let run = if final_pos > p.pos {
+            let len = final_pos - p.pos;
+            p.total += len;
+            Some(Run {
+                file: p.file,
+                mode: p.mode,
+                offset: p.pos,
+                len,
+            })
+        } else {
+            None
+        };
+        Some((p, run))
+    }
+}
+
+/// Emits the open-record events every fidelity shares: the size hint,
+/// then a zeroing truncate when the open created/truncated the file
+/// (cached blocks of the old data are stale).
+fn open_prologue(
+    time_ms: u64,
+    file: FileId,
+    size: u64,
+    created: bool,
+    emit: &mut impl FnMut(ReplayEvent),
+) {
+    emit(ReplayEvent::SizeHint {
+        time_ms,
+        file,
+        size,
+    });
+    if created {
+        emit(ReplayEvent::TruncateTo {
             time_ms,
             file,
-            offset,
-            len,
-            write,
-        };
-        match (mode, self.rw_handling) {
-            (AccessMode::ReadOnly, _) | (AccessMode::ReadWrite, RwHandling::Read) => {
-                emit(event(false));
-            }
-            (AccessMode::WriteOnly, _) | (AccessMode::ReadWrite, RwHandling::Write) => {
-                emit(event(true));
-            }
-            (AccessMode::ReadWrite, RwHandling::Both) => {
-                emit(event(false));
-                emit(event(true));
-            }
-        }
+            new_len: 0,
+        });
     }
+}
 
-    /// Feeds one record, passing each replay event it implies to `emit`.
-    pub fn feed(&mut self, rec: &TraceRecord, emit: &mut impl FnMut(ReplayEvent)) {
+/// The paper's block-fidelity expansion ([`Fidelity::Block`]): each
+/// billed run becomes [`ReplayEvent::Transfer`]s that the replayer
+/// splits into block accesses with per-block byte accounting. This
+/// path is kept bit-identical to the pre-refactor `EventExpander`
+/// (enforced by the legacy-equivalence proptests in
+/// `tests/fidelity.rs`).
+pub struct BlockExpander {
+    billing: Billing,
+    table: OpenTable,
+}
+
+impl BlockExpander {
+    fn feed(&mut self, rec: &TraceRecord, emit: &mut impl FnMut(ReplayEvent)) {
         let time_ms = rec.time.as_ms();
         match rec.event {
             TraceEvent::Open {
@@ -189,49 +286,188 @@ impl EventExpander {
                 created,
                 ..
             } => {
-                emit(ReplayEvent::SizeHint {
-                    time_ms,
-                    file: file_id,
-                    size,
-                });
-                if created {
-                    // Creation (or truncate-on-open) empties the file:
-                    // cached blocks of the old data are stale.
-                    emit(ReplayEvent::TruncateTo {
-                        time_ms,
-                        file: file_id,
-                        new_len: 0,
-                    });
-                }
-                self.pending.insert(
-                    open_id,
-                    PendingOpen {
-                        file: file_id,
-                        mode,
-                        pos: 0,
-                    },
-                );
+                open_prologue(time_ms, file_id, size, created, emit);
+                self.table.open(open_id, file_id, mode);
             }
             TraceEvent::Seek {
                 open_id,
                 old_pos,
                 new_pos,
             } => {
-                let mut run = None;
-                if let Some(p) = self.pending.get_mut(&open_id) {
-                    if old_pos > p.pos {
-                        run = Some((p.file, p.mode, p.pos, old_pos - p.pos));
-                    }
-                    p.pos = new_pos;
-                }
-                if let Some((file, mode, offset, len)) = run {
-                    self.transfer(emit, time_ms, file, mode, offset, len);
+                if let Some(run) = self.table.seek(open_id, old_pos, new_pos) {
+                    self.emit_run(time_ms, &run, emit);
                 }
             }
             TraceEvent::Close { open_id, final_pos } => {
-                if let Some(p) = self.pending.remove(&open_id) {
-                    if final_pos > p.pos {
-                        self.transfer(emit, time_ms, p.file, p.mode, p.pos, final_pos - p.pos);
+                if let Some((_, Some(run))) = self.table.close(open_id, final_pos) {
+                    self.emit_run(time_ms, &run, emit);
+                }
+            }
+            TraceEvent::Unlink { file_id, .. } => emit(ReplayEvent::Delete {
+                time_ms,
+                file: file_id,
+            }),
+            TraceEvent::Truncate {
+                file_id, new_len, ..
+            } => emit(ReplayEvent::TruncateTo {
+                time_ms,
+                file: file_id,
+                new_len,
+            }),
+            TraceEvent::Execve { file_id, size, .. }
+                if self.billing.simulate_paging && size > 0 =>
+            {
+                emit(ReplayEvent::Transfer {
+                    time_ms,
+                    file: file_id,
+                    offset: 0,
+                    len: size,
+                    write: false,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits the transfer(s) billed for one sequential run.
+    fn emit_run(&self, time_ms: u64, run: &Run, emit: &mut impl FnMut(ReplayEvent)) {
+        self.billing.directions(run.mode, &mut |write| {
+            emit(ReplayEvent::Transfer {
+                time_ms,
+                file: run.file,
+                offset: run.offset,
+                len: run.len,
+                write,
+            })
+        });
+    }
+}
+
+/// Syscall-fidelity expansion ([`Fidelity::Syscall`]): one
+/// [`ReplayEvent::Op`] per billed run, carrying the run's extent. Runs
+/// are billed at the same points and in the same order as at block
+/// fidelity — only the per-block decomposition is dropped.
+pub struct SyscallExpander {
+    billing: Billing,
+    table: OpenTable,
+}
+
+impl SyscallExpander {
+    fn feed(&mut self, rec: &TraceRecord, emit: &mut impl FnMut(ReplayEvent)) {
+        let time_ms = rec.time.as_ms();
+        match rec.event {
+            TraceEvent::Open {
+                open_id,
+                file_id,
+                mode,
+                size,
+                created,
+                ..
+            } => {
+                open_prologue(time_ms, file_id, size, created, emit);
+                self.table.open(open_id, file_id, mode);
+            }
+            TraceEvent::Seek {
+                open_id,
+                old_pos,
+                new_pos,
+            } => {
+                if let Some(run) = self.table.seek(open_id, old_pos, new_pos) {
+                    self.emit_run(time_ms, &run, emit);
+                }
+            }
+            TraceEvent::Close { open_id, final_pos } => {
+                if let Some((_, Some(run))) = self.table.close(open_id, final_pos) {
+                    self.emit_run(time_ms, &run, emit);
+                }
+            }
+            TraceEvent::Unlink { file_id, .. } => emit(ReplayEvent::Delete {
+                time_ms,
+                file: file_id,
+            }),
+            TraceEvent::Truncate {
+                file_id, new_len, ..
+            } => emit(ReplayEvent::TruncateTo {
+                time_ms,
+                file: file_id,
+                new_len,
+            }),
+            TraceEvent::Execve { file_id, size, .. }
+                if self.billing.simulate_paging && size > 0 =>
+            {
+                emit(ReplayEvent::Op {
+                    time_ms,
+                    file: file_id,
+                    offset: 0,
+                    len: size,
+                    write: false,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Emits the op(s) billed for one sequential run.
+    fn emit_run(&self, time_ms: u64, run: &Run, emit: &mut impl FnMut(ReplayEvent)) {
+        self.billing.directions(run.mode, &mut |write| {
+            emit(ReplayEvent::Op {
+                time_ms,
+                file: run.file,
+                offset: run.offset,
+                len: run.len,
+                write,
+            })
+        });
+    }
+}
+
+/// Open-fidelity expansion ([`Fidelity::Open`]): one
+/// [`ReplayEvent::Op`] per open-close session, reconstructed from the
+/// session's transfer total and billed at close time as a single
+/// sequential extent from offset 0. Seeks contribute to the total but
+/// emit nothing; sessions still open when the trace ends emit nothing
+/// (mirroring block fidelity, where an unclosed open's final run is
+/// never billed).
+pub struct OpenExpander {
+    billing: Billing,
+    table: OpenTable,
+}
+
+impl OpenExpander {
+    fn feed(&mut self, rec: &TraceRecord, emit: &mut impl FnMut(ReplayEvent)) {
+        let time_ms = rec.time.as_ms();
+        match rec.event {
+            TraceEvent::Open {
+                open_id,
+                file_id,
+                mode,
+                size,
+                created,
+                ..
+            } => {
+                open_prologue(time_ms, file_id, size, created, emit);
+                self.table.open(open_id, file_id, mode);
+            }
+            TraceEvent::Seek {
+                open_id,
+                old_pos,
+                new_pos,
+            } => {
+                // Accumulates the run into the session total only.
+                let _ = self.table.seek(open_id, old_pos, new_pos);
+            }
+            TraceEvent::Close { open_id, final_pos } => {
+                if let Some((session, _)) = self.table.close(open_id, final_pos) {
+                    if session.total > 0 {
+                        self.billing.directions(session.mode, &mut |write| {
+                            emit(ReplayEvent::Op {
+                                time_ms,
+                                file: session.file,
+                                offset: 0,
+                                len: session.total,
+                                write,
+                            })
+                        });
                     }
                 }
             }
@@ -246,8 +482,10 @@ impl EventExpander {
                 file: file_id,
                 new_len,
             }),
-            TraceEvent::Execve { file_id, size, .. } if self.simulate_paging && size > 0 => {
-                emit(ReplayEvent::Transfer {
+            TraceEvent::Execve { file_id, size, .. }
+                if self.billing.simulate_paging && size > 0 =>
+            {
+                emit(ReplayEvent::Op {
                     time_ms,
                     file: file_id,
                     offset: 0,
@@ -256,6 +494,65 @@ impl EventExpander {
                 });
             }
             _ => {}
+        }
+    }
+}
+
+/// Streaming trace expansion: feed records in time order, receive the
+/// replay events they imply, in a canonical per-record order. One
+/// variant per [`Fidelity`], all sharing the [`OpenTable`] run/session
+/// reconstruction; [`EventExpander::new`] picks the variant from
+/// `config.fidelity`.
+///
+/// Each record's events are emitted the moment the record arrives:
+///
+/// * `open` → [`ReplayEvent::SizeHint`], then a zeroing
+///   [`ReplayEvent::TruncateTo`] if the open created/truncated the file;
+/// * `seek`/`close` → the [`ReplayEvent::Transfer`]s (block fidelity)
+///   or [`ReplayEvent::Op`]s (syscall fidelity) for the sequential run
+///   the event bills, or — at open fidelity — one [`ReplayEvent::Op`]
+///   per `close` covering the whole session (for read-write opens under
+///   [`RwHandling::Both`], the read precedes the write);
+/// * `unlink` → [`ReplayEvent::Delete`];
+/// * `truncate` → [`ReplayEvent::TruncateTo`];
+/// * `execve` → a paging read when `simulate_paging` is on.
+///
+/// Event times are therefore nondecreasing whenever the input records
+/// are, which is what [`Replayer`] and [`crate::MissSeries`] require.
+/// Memory is O(simultaneously open files), never O(records) — this is
+/// what lets a sweep cell consume a multi-day trace straight from disk.
+pub enum EventExpander {
+    /// Block-fidelity expansion (the paper's simulator).
+    Block(BlockExpander),
+    /// Syscall-fidelity expansion.
+    Syscall(SyscallExpander),
+    /// Open-fidelity expansion.
+    Open(OpenExpander),
+}
+
+impl EventExpander {
+    /// Creates the expander for a configuration's fidelity, counting
+    /// one expansion in `cachesim.replay.expansions`.
+    pub fn new(config: &CacheConfig) -> Self {
+        expansions_counter().inc();
+        let billing = Billing {
+            rw_handling: config.rw_handling,
+            simulate_paging: config.simulate_paging,
+        };
+        let table = OpenTable::default();
+        match config.fidelity {
+            Fidelity::Block => EventExpander::Block(BlockExpander { billing, table }),
+            Fidelity::Syscall => EventExpander::Syscall(SyscallExpander { billing, table }),
+            Fidelity::Open => EventExpander::Open(OpenExpander { billing, table }),
+        }
+    }
+
+    /// Feeds one record, passing each replay event it implies to `emit`.
+    pub fn feed(&mut self, rec: &TraceRecord, emit: &mut impl FnMut(ReplayEvent)) {
+        match self {
+            EventExpander::Block(e) => e.feed(rec, emit),
+            EventExpander::Syscall(e) => e.feed(rec, emit),
+            EventExpander::Open(e) => e.feed(rec, emit),
         }
     }
 
@@ -344,6 +641,32 @@ impl Replayer {
                         let whole = old_valid == 0
                             || (offset <= bstart && covered_hi >= bstart + old_valid);
                         cache.write(id, whole, time_ms);
+                    } else {
+                        cache.read(id, time_ms);
+                    }
+                }
+            }
+            ReplayEvent::Op {
+                time_ms,
+                file,
+                offset,
+                len,
+                write,
+            } => {
+                if len == 0 {
+                    return;
+                }
+                // Op-level replay (syscall/open fidelity): touch the
+                // covering block run without byte accounting. Requests
+                // are quantized to block units at op granularity — the
+                // Section 6.1 assumption applied per op — so every
+                // write counts as whole and the per-file size map is
+                // never consulted.
+                let end = offset + len;
+                for block in offset / bs..=(end - 1) / bs {
+                    let id = BlockId { file, block };
+                    if write {
+                        cache.write(id, true, time_ms);
                     } else {
                         cache.read(id, time_ms);
                     }
@@ -644,6 +967,109 @@ mod tests {
             let streamed = Simulator::run_stream(trace.records(), &config);
             assert_eq!(batched, streamed, "step {step}");
         }
+    }
+
+    /// Syscall fidelity quantizes requests to block units per op: the
+    /// partial overwrite that forces a read-modify-write fetch at
+    /// block fidelity is billed as a whole write.
+    #[test]
+    fn syscall_fidelity_elides_partial_overwrite() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::ReadWrite, 8_192, false);
+        b.seek(10, o, 0, 1_000);
+        b.close(20, o, 2_000);
+        let trace = b.finish();
+        let block = Simulator::run(&trace, &cfg());
+        let syscall = Simulator::run(
+            &trace,
+            &CacheConfig {
+                fidelity: Fidelity::Syscall,
+                ..cfg()
+            },
+        );
+        assert_eq!(block.disk_reads, 1); // Read-modify-write fetch.
+        assert_eq!(syscall.disk_reads, 0); // Op-level: counts as whole.
+        assert_eq!(syscall.elided_fetches, 1);
+        // Same blocks touched: logical traffic matches block fidelity.
+        assert_eq!(syscall.logical_writes, block.logical_writes);
+    }
+
+    /// Open fidelity collapses a session's runs into one extent from
+    /// offset 0, billed at close time — a high-offset run therefore
+    /// lands on different (lower) blocks than at finer fidelities.
+    #[test]
+    fn open_fidelity_collapses_session() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::ReadOnly, 40_960, false);
+        // Two runs: bytes 0..4096 and 36864..40960.
+        b.seek(10, o, 4_096, 36_864);
+        b.close(20, o, 40_960);
+        let trace = b.finish();
+        let block = Simulator::run(&trace, &cfg());
+        let open = Simulator::run(
+            &trace,
+            &CacheConfig {
+                fidelity: Fidelity::Open,
+                ..cfg()
+            },
+        );
+        // Block fidelity reads blocks {0} and {9}; open fidelity reads
+        // the 8192-byte total as blocks {0, 1}.
+        assert_eq!(block.logical_reads, 2);
+        assert_eq!(open.logical_reads, 2);
+        let open_events = replay_events(
+            &trace,
+            &CacheConfig {
+                fidelity: Fidelity::Open,
+                ..cfg()
+            },
+        );
+        assert!(open_events.iter().any(|e| matches!(
+            e,
+            ReplayEvent::Op {
+                time_ms: 20,
+                offset: 0,
+                len: 8_192,
+                write: false,
+                ..
+            }
+        )));
+    }
+
+    /// Seeks emit nothing at open fidelity; the session total still
+    /// includes every run.
+    #[test]
+    fn open_fidelity_bills_at_close_only() {
+        let mut b = TraceBuilder::new();
+        let u = b.new_user_id();
+        let f = b.new_file_id();
+        let o = b.open(0, f, u, AccessMode::ReadOnly, 8_192, false);
+        b.seek(10, o, 4_096, 0); // Ends a 4096-byte run.
+        b.close(20, o, 4_096); // Ends another.
+        let events = replay_events(
+            &b.finish(),
+            &CacheConfig {
+                fidelity: Fidelity::Open,
+                ..cfg()
+            },
+        );
+        let ops: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, ReplayEvent::Op { .. }))
+            .collect();
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            ops[0],
+            ReplayEvent::Op {
+                time_ms: 20,
+                len: 8_192,
+                ..
+            }
+        ));
     }
 
     /// The expander emits one expansion per instance, exactly like a

@@ -57,6 +57,7 @@ impl MissSeries {
             let t = match *ev {
                 ReplayEvent::SizeHint { time_ms, .. }
                 | ReplayEvent::Transfer { time_ms, .. }
+                | ReplayEvent::Op { time_ms, .. }
                 | ReplayEvent::TruncateTo { time_ms, .. }
                 | ReplayEvent::Delete { time_ms, .. } => time_ms,
             };

@@ -51,7 +51,7 @@ use fstrace::{FileId, TraceRecord};
 use simstat::Distribution;
 
 use crate::cache::BlockId;
-use crate::config::{CacheConfig, Replacement, WritePolicy};
+use crate::config::{CacheConfig, Fidelity, Replacement, WritePolicy};
 use crate::metrics::CacheMetrics;
 use crate::replay::{EventExpander, ReplayEvent};
 
@@ -77,13 +77,18 @@ pub fn enabled() -> bool {
 }
 
 /// Whether a single configuration's metrics can be derived from a
-/// stack-distance profile (LRU replacement, sane capacity).
+/// stack-distance profile (block fidelity, LRU replacement, sane
+/// capacity).
 ///
-/// Profilable cells still need a *partner* sharing block size, elision,
-/// and invalidation settings before profiling beats a direct replay;
-/// that grouping is the sweep engine's job.
+/// The engine's per-block byte accounting models [`Fidelity::Block`]
+/// expansion only; syscall/open-fidelity cells always fall back to
+/// direct simulation. Profilable cells still need a *partner* sharing
+/// block size, elision, and invalidation settings before profiling
+/// beats a direct replay; that grouping is the sweep engine's job.
 pub fn profilable(config: &CacheConfig) -> bool {
-    config.replacement == Replacement::Lru && config.capacity_blocks() < MAX_TRACKED_BLOCKS
+    config.fidelity == Fidelity::Block
+        && config.replacement == Replacement::Lru
+        && config.capacity_blocks() < MAX_TRACKED_BLOCKS
 }
 
 /// A Fenwick (binary indexed) tree over 0/1 occupancy of sequence
@@ -661,6 +666,12 @@ impl StackEngine {
                         self.access(id, time_ms, None);
                     }
                 }
+            }
+            // Op-level events only exist at syscall/open fidelity,
+            // which `profilable` excludes; `try_new` therefore never
+            // builds an engine that could see one.
+            ReplayEvent::Op { .. } => {
+                unreachable!("stack profiling is block-fidelity only")
             }
             ReplayEvent::TruncateTo {
                 time_ms,

@@ -5,11 +5,11 @@
 //! block sizes × cache sizes (Table VII), cache sizes with and without
 //! paging (Figure 7). Expanding the trace into [`ReplayEvent`]s
 //! dominates the setup cost of each run, yet the expansion depends on
-//! only two of the configuration fields — [`CacheConfig::rw_handling`]
-//! and [`CacheConfig::simulate_paging`] (see [`ExpansionKey`]). All
-//! other fields (cache size, block size, write policy, replacement,
-//! elision, invalidation) only change how the *same* event stream is
-//! consumed.
+//! only three of the configuration fields — [`CacheConfig::fidelity`],
+//! [`CacheConfig::rw_handling`], and [`CacheConfig::simulate_paging`]
+//! (see [`ExpansionKey`]). All other fields (cache size, block size,
+//! write policy, replacement, elision, invalidation) only change how
+//! the *same* event stream is consumed.
 //!
 //! [`run`] therefore groups the requested configurations by expansion
 //! key, materializes each group's event vector **once**, and fans the
@@ -28,12 +28,15 @@
 //! records through the [`crate::EventExpander`] directly into its
 //! simulator, holding O(open files) state.
 //!
-//! Within each expansion group, LRU cells sharing block size, elision,
-//! and invalidation settings differ only in capacity and write policy —
-//! exactly what the [`crate::stack`] profiler derives from **one**
-//! replay via stack distances. The engine partitions each group into
-//! such profile subgroups (two or more cells each) plus the remaining
-//! *direct* cells (FIFO replacement, partnerless parameter combos),
+//! Within each expansion group, block-fidelity LRU cells sharing block
+//! size, elision, and invalidation settings differ only in capacity and
+//! write policy — exactly what the [`crate::stack`] profiler derives
+//! from **one** replay via stack distances. The stack engine models
+//! block-fidelity expansion only, so syscall/open-fidelity cells are
+//! explicit fallbacks ([`stack::profilable`]). The engine partitions
+//! each group into such profile subgroups (two or more cells each) plus
+//! the remaining *direct* cells (other fidelities, FIFO replacement,
+//! partnerless parameter combos),
 //! turning an S-size × P-policy grid from S×P replays into one profiled
 //! pass plus the fallback cells. A group consisting of a single profile
 //! subgroup streams records straight into the profiler; mixed groups
@@ -49,7 +52,7 @@ use std::thread;
 
 use fstrace::{Trace, TraceRecord};
 
-use crate::config::{CacheConfig, RwHandling};
+use crate::config::{CacheConfig, Fidelity, RwHandling};
 use crate::metrics::CacheMetrics;
 use crate::replay::{EventExpander, ReplayEvent, Simulator};
 use crate::stack;
@@ -60,8 +63,10 @@ use crate::stack;
 /// any field *not* in this key is guaranteed not to affect expansion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExpansionKey {
-    /// How read-write runs are billed (changes which `Transfer` events
-    /// exist and their direction).
+    /// Replay fidelity (changes the event granularity entirely).
+    pub fidelity: Fidelity,
+    /// How read-write runs are billed (changes which `Transfer`/`Op`
+    /// events exist and their direction).
     pub rw_handling: RwHandling,
     /// Whether `execve` records expand into program-image reads.
     pub simulate_paging: bool,
@@ -71,6 +76,7 @@ impl ExpansionKey {
     /// Extracts the expansion-relevant fields of a configuration.
     pub fn of(config: &CacheConfig) -> Self {
         ExpansionKey {
+            fidelity: config.fidelity,
             rw_handling: config.rw_handling,
             simulate_paging: config.simulate_paging,
         }
@@ -150,8 +156,8 @@ where
     let cell_us = reg.histogram("cachesim.sweep.cell_us");
 
     // Group config indices by expansion key, preserving first-seen
-    // order. At most 6 distinct keys exist, so a linear scan beats a
-    // hash map.
+    // order. At most 18 distinct keys exist (3 fidelities × 3
+    // rw-handlings × paging), so a linear scan beats a hash map.
     let mut groups: Vec<(ExpansionKey, Vec<usize>)> = Vec::new();
     for (i, c) in configs.iter().enumerate() {
         let key = ExpansionKey::of(c);
@@ -568,6 +574,44 @@ mod tests {
             let swept = run_with_jobs(&trace, &configs, jobs);
             for (i, (c, m)) in swept.iter().enumerate() {
                 assert_eq!(*c, configs[i]);
+                assert_eq!(*m, Simulator::run(&trace, c), "jobs={jobs} config {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fidelity_joins_the_expansion_key() {
+        let block = CacheConfig::default();
+        let syscall = CacheConfig {
+            fidelity: Fidelity::Syscall,
+            ..CacheConfig::default()
+        };
+        assert_ne!(ExpansionKey::of(&block), ExpansionKey::of(&syscall));
+    }
+
+    #[test]
+    fn mixed_fidelity_sweep_matches_sequential_runs() {
+        // A grid spanning all three fidelities in one call: block
+        // cells profile (or fall back), syscall/open cells always run
+        // direct — every result bit-identical to a sequential run.
+        let trace = small_trace();
+        let mut configs = Vec::new();
+        for fidelity in Fidelity::ALL {
+            for cache_kb in [64u64, 256] {
+                for policy in [WritePolicy::DelayedWrite, WritePolicy::WriteThrough] {
+                    configs.push(CacheConfig {
+                        cache_bytes: cache_kb * 1024,
+                        write_policy: policy,
+                        fidelity,
+                        ..CacheConfig::default()
+                    });
+                }
+            }
+        }
+        for jobs in [1, 4] {
+            let swept = run_with_jobs(&trace, &configs, jobs);
+            for (i, (c, m)) in swept.iter().enumerate() {
+                assert_eq!(*c, configs[i], "order must match input");
                 assert_eq!(*m, Simulator::run(&trace, c), "jobs={jobs} config {i}");
             }
         }

@@ -116,6 +116,7 @@ mod tests {
         let config = ReproConfig {
             hours: 0.25,
             seed: 42,
+            ..ReproConfig::default()
         };
         let path = trace_path(&dir, "a5", &config);
         assert_eq!(path.file_name().unwrap(), "a5-0.25h-s42.tsa");

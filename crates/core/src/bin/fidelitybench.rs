@@ -1,0 +1,126 @@
+//! `fidelitybench`: replay throughput at each fidelity level.
+//!
+//! ```text
+//! fidelitybench [--hours H] [--seed S] [--repeat N] [--json]
+//! ```
+//!
+//! Generates one a5-profile trace, then replays it through a single
+//! representative cache configuration (2 MB, delayed write, 4 KB
+//! blocks) at block, syscall, and open fidelity, timing the best of N
+//! runs each. Coarser fidelities expand fewer replay events and skip
+//! per-block byte accounting, so they must not be slower than block
+//! replay: ci.sh records the result as `BENCH_8.json` and gates on
+//! `syscall_speedup`.
+
+use std::time::Instant;
+
+use cachesim::{CacheConfig, Fidelity, Simulator, WritePolicy};
+use workload::{generate, MachineProfile, WorkloadConfig};
+
+fn main() {
+    let mut hours = 0.25f64;
+    let mut seed = 1985u64;
+    let mut repeat = 3usize;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hours" => {
+                hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--repeat needs a positive integer"));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: fidelitybench [--hours H] [--seed S] [--repeat N] [--json]");
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    let config = WorkloadConfig {
+        profile: MachineProfile::ucbarpa(),
+        seed,
+        duration_hours: hours,
+        ..WorkloadConfig::default()
+    };
+    let out = generate(&config).unwrap_or_else(|e| die(&format!("generate: {e}")));
+    let records = out.trace.len() as f64;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // records/s of raw trace replayed per fidelity, best of `repeat`.
+    let mut rates = [0f64; 3];
+    let mut misses = [0f64; 3];
+    for (fi, fidelity) in Fidelity::ALL.into_iter().enumerate() {
+        let cfg = CacheConfig {
+            cache_bytes: 2 * 1024 * 1024,
+            block_size: 4096,
+            write_policy: WritePolicy::DelayedWrite,
+            fidelity,
+            ..CacheConfig::default()
+        };
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..repeat {
+            let started = Instant::now();
+            let m = Simulator::run(&out.trace, &cfg);
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            best_ms = best_ms.min(wall_ms);
+            misses[fi] = m.miss_ratio();
+        }
+        rates[fi] = records / (best_ms / 1e3).max(1e-9);
+    }
+    let syscall_speedup = rates[1] / rates[0].max(1e-9);
+    let open_speedup = rates[2] / rates[0].max(1e-9);
+
+    if json {
+        let mut s = String::from("{\n");
+        s.push_str("  \"bench\": \"fidelity_replay\",\n");
+        s.push_str(&format!("  \"hours\": {hours},\n"));
+        s.push_str(&format!("  \"seed\": {seed},\n"));
+        s.push_str(&format!("  \"repeat\": {repeat},\n"));
+        s.push_str(&format!("  \"cores\": {cores},\n"));
+        s.push_str(&format!("  \"records\": {},\n", out.trace.len()));
+        s.push_str(&format!("  \"block_records_per_s\": {:.0},\n", rates[0]));
+        s.push_str(&format!("  \"syscall_records_per_s\": {:.0},\n", rates[1]));
+        s.push_str(&format!("  \"open_records_per_s\": {:.0},\n", rates[2]));
+        s.push_str(&format!("  \"syscall_speedup\": {syscall_speedup:.2},\n"));
+        s.push_str(&format!("  \"open_speedup\": {open_speedup:.2}\n"));
+        s.push('}');
+        println!("{s}");
+    } else {
+        println!("fidelity replay bench ({hours} h, seed {seed}, best of {repeat})");
+        println!("  records: {}", out.trace.len());
+        for (fi, fidelity) in Fidelity::ALL.into_iter().enumerate() {
+            println!(
+                "  {:<8} {:>12.0} records/s  (miss {:.1}%)",
+                fidelity.name(),
+                rates[fi],
+                100.0 * misses[fi]
+            );
+        }
+        println!("  syscall_speedup: {syscall_speedup:.2}x");
+        println!("  open_speedup: {open_speedup:.2}x");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("fidelitybench: {msg}");
+    std::process::exit(1);
+}

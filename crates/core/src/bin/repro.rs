@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N] [--metrics PATH]
-//!       [--archive DIR]
+//!       [--archive DIR] [--fidelity open|syscall|block]
 //!
 //! EXPERIMENT: all (default) | table1 | table3 | table4 | table5 |
 //!             fig1 | fig2 | fig3 | fig4 | gaps | table6 | table7 |
-//!             fig7 | residency | compare
+//!             fig7 | residency | compare | fidelity
+//!
+//! --fidelity selects the replay fidelity for the Section 6 cache
+//! simulations (default: block, the paper's simulator; see DESIGN.md
+//! §15). Section 5 analyses are fidelity-invariant, the compare
+//! experiment is pinned to block, and the `fidelity` experiment always
+//! runs all three levels side by side.
 //!
 //! --jobs N caps the worker threads the cache-simulation sweeps use
 //! (default: all available cores). Results are identical for any N.
@@ -71,12 +77,19 @@ fn main() {
                         .unwrap_or_else(|| die("--archive needs a directory")),
                 ));
             }
+            "--fidelity" => {
+                config.fidelity = args
+                    .next()
+                    .and_then(|v| cachesim::Fidelity::parse(&v))
+                    .unwrap_or_else(|| die("--fidelity needs one of: open, syscall, block"));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [EXPERIMENT] [--hours H] [--seed S] [--jobs N] [--metrics PATH]\n\
-                     \x20      [--archive DIR]\n\
+                     \x20      [--archive DIR] [--fidelity open|syscall|block]\n\
                      experiments: all table1 table3 table4 table5 fig1 fig2 fig3 fig4\n\
-                     \x20            gaps table6 table7 fig7 residency compare ablations server"
+                     \x20            gaps table6 table7 fig7 residency compare ablations\n\
+                     \x20            server fidelity"
                 );
                 return;
             }
@@ -160,6 +173,7 @@ fn main() {
             "fig7" => println!("{}\n", experiments::fig7::run(&set)),
             "residency" => println!("{}\n", experiments::residency::run(&set)),
             "compare" => println!("{}\n", experiments::comparisons::run(&set)),
+            "fidelity" => println!("{}\n", experiments::fidelity::run(&set)),
             "ablations" => println!("{}\n", experiments::ablations::run(&set)),
             "server" => match &archive_dir {
                 Some(dir) => {
@@ -189,6 +203,7 @@ fn main() {
             "fig7",
             "residency",
             "compare",
+            "fidelity",
             "ablations",
             "server",
         ] {

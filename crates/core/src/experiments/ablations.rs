@@ -35,6 +35,7 @@ pub fn run(set: &TraceSet) -> Ablations {
         cache_bytes: 1 << 20,
         block_size: 4096,
         write_policy: WritePolicy::DelayedWrite,
+        fidelity: set.fidelity,
         ..CacheConfig::default()
     };
     // The sweep engine groups these by expansion key: the first four

@@ -36,6 +36,9 @@ pub struct Comparisons {
 /// Runs the comparison on the A5 trace/file system.
 pub fn run(set: &TraceSet) -> Comparisons {
     let entry = set.a5();
+    // Always block fidelity, whatever --fidelity asks: the comparison
+    // target is the live bsdfs buffer cache, which is a block cache by
+    // construction — a coarser replay would measure a different thing.
     let cfg = CacheConfig {
         cache_bytes: 400 * 1024,
         block_size: 4096,

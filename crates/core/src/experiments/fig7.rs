@@ -35,6 +35,7 @@ pub struct Fig7 {
 /// vector, all the paging-on points another.
 pub fn run(set: &TraceSet) -> Fig7 {
     let trace = &set.a5().out.trace;
+    let fidelity = set.fidelity;
     let configs: Vec<CacheConfig> = CACHE_MB
         .iter()
         .flat_map(|&mb| {
@@ -43,6 +44,7 @@ pub fn run(set: &TraceSet) -> Fig7 {
                 block_size: 4096,
                 write_policy: WritePolicy::DelayedWrite,
                 simulate_paging: paging,
+                fidelity,
                 ..CacheConfig::default()
             })
         })

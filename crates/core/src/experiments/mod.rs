@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod comparisons;
+pub mod fidelity;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -27,6 +27,7 @@ pub fn run(set: &TraceSet) -> Residency {
         cache_bytes: 4 << 20,
         block_size: 4096,
         write_policy: WritePolicy::DelayedWrite,
+        fidelity: set.fidelity,
         ..CacheConfig::default()
     };
     let mut m = Simulator::run(trace, &cfg);

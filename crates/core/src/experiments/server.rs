@@ -11,7 +11,7 @@
 use std::fmt;
 use std::path::Path;
 
-use cachesim::{sweep, CacheConfig, WritePolicy};
+use cachesim::{sweep, CacheConfig, Fidelity, WritePolicy};
 use fstrace::{merged_records, Trace, TraceRecord};
 
 use crate::archive;
@@ -70,7 +70,7 @@ pub fn run(set: &TraceSet) -> Server {
             ids.len() as u64
         })
         .sum();
-    let configs = server_configs();
+    let configs = server_configs(set.fidelity);
     let results = sweep::run_source(
         || merged_records(&traces).map(|r| r.expect("in-memory merge cannot fail")),
         &configs,
@@ -121,7 +121,7 @@ pub fn run_archived(set: &TraceSet, path: &Path, jobs: usize) -> Server {
         .collect();
     users.sort_unstable();
     users.dedup();
-    let configs = server_configs();
+    let configs = server_configs(set.fidelity);
     let results = sweep::run_source(|| merged.records(), &configs, jobs);
     Server {
         clients: set.entries.len(),
@@ -132,7 +132,7 @@ pub fn run_archived(set: &TraceSet, path: &Path, jobs: usize) -> Server {
 }
 
 /// The cache-size × write-policy grid both entry points sweep.
-fn server_configs() -> Vec<CacheConfig> {
+fn server_configs(fidelity: Fidelity) -> Vec<CacheConfig> {
     CACHE_MB
         .iter()
         .flat_map(|&mb| {
@@ -147,6 +147,7 @@ fn server_configs() -> Vec<CacheConfig> {
                 cache_bytes: mb << 20,
                 block_size: 4096,
                 write_policy: policy,
+                fidelity,
                 ..CacheConfig::default()
             })
         })

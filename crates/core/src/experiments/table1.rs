@@ -63,6 +63,7 @@ pub fn run(set: &TraceSet) -> Table1 {
     let base = CacheConfig {
         cache_bytes: 4 << 20,
         block_size: 4096,
+        fidelity: set.fidelity,
         ..CacheConfig::default()
     };
     let events = replay_events(a5, &base);
@@ -92,6 +93,7 @@ pub fn run(set: &TraceSet) -> Table1 {
                     cache_bytes,
                     block_size: bs * 1024,
                     write_policy: WritePolicy::DelayedWrite,
+                    fidelity: set.fidelity,
                     ..CacheConfig::default()
                 };
                 Simulator::run(a5, &cfg).disk_ios()

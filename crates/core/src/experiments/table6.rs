@@ -31,6 +31,7 @@ pub struct Table6 {
 /// cells simulated in parallel).
 pub fn run(set: &TraceSet) -> Table6 {
     let trace = &set.a5().out.trace;
+    let fidelity = set.fidelity;
     let configs: Vec<CacheConfig> = paper::TABLE_VI_SIZES_KB
         .iter()
         .flat_map(|&size_kb| {
@@ -40,6 +41,7 @@ pub fn run(set: &TraceSet) -> Table6 {
                     cache_bytes: size_kb * 1024,
                     block_size: 4096,
                     write_policy: policy,
+                    fidelity,
                     ..CacheConfig::default()
                 })
         })

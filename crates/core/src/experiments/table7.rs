@@ -33,6 +33,7 @@ pub struct Table7 {
 /// how it expands, so the whole grid shares a single expansion.
 pub fn run(set: &TraceSet) -> Table7 {
     let trace = &set.a5().out.trace;
+    let fidelity = set.fidelity;
     let configs: Vec<CacheConfig> = paper::TABLE_VII_BLOCK_KB
         .iter()
         .flat_map(|&bs_kb| {
@@ -42,6 +43,7 @@ pub fn run(set: &TraceSet) -> Table7 {
                     block_size: bs_kb * 1024,
                     cache_bytes: cache_kb * 1024,
                     write_policy: WritePolicy::DelayedWrite,
+                    fidelity,
                     ..CacheConfig::default()
                 })
         })

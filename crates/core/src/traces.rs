@@ -4,6 +4,7 @@ use std::path::Path;
 use std::sync::OnceLock;
 
 use bsdfs::{Fs, FsResult};
+use cachesim::Fidelity;
 use fsanalysis::{run_analyzers, AnalysisSuite};
 use workload::{generate, GeneratedTrace, MachineProfile, WorkloadConfig};
 
@@ -18,6 +19,10 @@ pub struct ReproConfig {
     pub hours: f64,
     /// Master random seed.
     pub seed: u64,
+    /// Replay fidelity for the Section 6 cache simulations
+    /// (`repro --fidelity`); block is the paper's simulator. Section 5
+    /// analyses are fidelity-invariant and ignore this.
+    pub fidelity: Fidelity,
 }
 
 impl Default for ReproConfig {
@@ -25,6 +30,7 @@ impl Default for ReproConfig {
         ReproConfig {
             hours: 1.0,
             seed: 1985,
+            fidelity: Fidelity::Block,
         }
     }
 }
@@ -57,6 +63,9 @@ impl TraceEntry {
 pub struct TraceSet {
     /// Entries in paper order: a5, e3, c4.
     pub entries: Vec<TraceEntry>,
+    /// Replay fidelity the cache experiments should simulate at
+    /// (carried from [`ReproConfig::fidelity`]).
+    pub fidelity: Fidelity,
 }
 
 impl TraceSet {
@@ -79,7 +88,10 @@ impl TraceSet {
                 analysis: OnceLock::new(),
             });
         }
-        Ok(TraceSet { entries })
+        Ok(TraceSet {
+            entries,
+            fidelity: config.fidelity,
+        })
     }
 
     /// Generates only the A5 trace (the Section 6 simulations use A5
@@ -101,6 +113,7 @@ impl TraceSet {
                 out,
                 analysis: OnceLock::new(),
             }],
+            fidelity: config.fidelity,
         })
     }
 
@@ -127,7 +140,10 @@ impl TraceSet {
         for profile in MachineProfile::all() {
             entries.push(Self::entry_cached(profile, config, dir, jobs)?);
         }
-        Ok(TraceSet { entries })
+        Ok(TraceSet {
+            entries,
+            fidelity: config.fidelity,
+        })
     }
 
     /// Archive-cached counterpart of [`TraceSet::generate_a5`].
@@ -139,6 +155,7 @@ impl TraceSet {
                 dir,
                 jobs,
             )?],
+            fidelity: config.fidelity,
         })
     }
 
@@ -190,6 +207,7 @@ mod tests {
         let set = TraceSet::generate(&ReproConfig {
             hours: 0.05,
             seed: 1,
+            ..ReproConfig::default()
         })
         .unwrap();
         let names: Vec<&str> = set.entries.iter().map(|e| e.name.as_str()).collect();
@@ -202,6 +220,7 @@ mod tests {
         let set = TraceSet::generate_a5(&ReproConfig {
             hours: 0.05,
             seed: 1,
+            ..ReproConfig::default()
         })
         .unwrap();
         assert_eq!(set.entries.len(), 1);

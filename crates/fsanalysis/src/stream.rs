@@ -9,6 +9,16 @@
 //! files plus the analyzers' own summaries — never by trace length — so
 //! a multi-day trace streams straight from disk.
 //!
+//! # Fidelity
+//!
+//! In the replay-fidelity taxonomy (`cachesim::Fidelity`, DESIGN.md
+//! §15) this suite is open/syscall-level *by construction*: analyzers
+//! consume records and [`OpenSession`]s — never block decompositions —
+//! so its results are invariant across replay fidelities. It is fed
+//! through the same record layer as the expanders, which is what lets
+//! one trace pass drive both Section-5 analysis and any-fidelity cache
+//! replay.
+//!
 //! # Contract
 //!
 //! An [`Analyzer`] sees, in trace order:

@@ -164,6 +164,29 @@ impl RecordBlock {
         &self.tags
     }
 
+    /// Counts records per [`crate::EventKind`], indexed in
+    /// [`crate::EventKind::ALL`] order (create, open, close, seek,
+    /// unlink, truncate, execve). A straight pass over the tag column —
+    /// no record materialization — so inspection tools can histogram a
+    /// chunk at column-scan speed.
+    pub fn kind_counts(&self) -> [u64; 7] {
+        let mut counts = [0u64; 7];
+        for &tag in &self.tags {
+            let i = match tag {
+                TAG_CREATE => 0,
+                TAG_OPEN => 1,
+                TAG_CLOSE => 2,
+                TAG_SEEK => 3,
+                TAG_UNLINK => 4,
+                TAG_TRUNCATE => 5,
+                TAG_EXECVE => 6,
+                other => unreachable!("decode_block only stores validated tags, found {other}"),
+            };
+            counts[i] += 1;
+        }
+        counts
+    }
+
     /// End offset of record `i`, relative to the buffer it was decoded
     /// from. Streaming readers use consecutive ends to attribute bytes
     /// to records.
@@ -628,6 +651,21 @@ mod tests {
         for i in 1..block.len() {
             assert!(block.end_offset(i - 1) < block.end_offset(i));
         }
+    }
+
+    #[test]
+    fn kind_counts_match_materialized_records() {
+        let records = sample_records();
+        let buf = encode(&records);
+        let mut block = RecordBlock::new();
+        let mut pos = 0;
+        decode_block(&buf, &mut pos, 0, buf.len(), usize::MAX, &mut block).expect("decodes");
+        let counts = block.kind_counts();
+        for (i, kind) in crate::EventKind::ALL.into_iter().enumerate() {
+            let expected = records.iter().filter(|r| r.event.kind() == kind).count() as u64;
+            assert_eq!(counts[i], expected, "{kind:?}");
+        }
+        assert_eq!(counts.iter().sum::<u64>(), records.len() as u64);
     }
 
     #[test]

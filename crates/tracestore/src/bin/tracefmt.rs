@@ -5,6 +5,7 @@
 //! tracefmt pack     FILE OUT    archive a trace (flat, text, or archive input)
 //! tracefmt unpack   FILE OUT    convert any trace to a flat binary trace
 //! tracefmt inspect  FILE        print an archive's metadata and chunk table
+//! tracefmt inspect  FILE --tags per-kind record histogram by chunk range
 //! tracefmt verify   FILE        check every chunk; nonzero exit on damage
 //! tracefmt summary  FILE        print Table III-style statistics
 //! tracefmt sessions FILE        print reconstructed open-close sessions
@@ -222,6 +223,71 @@ fn cmd_unpack(file: &str, out: &str) {
     );
 }
 
+/// `inspect --tags`: per-kind record histogram over chunk ranges.
+///
+/// Decodes every chunk batched ([`fstrace::block::RecordBlock`], tag
+/// column only — no record materialization) and prints one row per
+/// range of consecutive chunks (at most [`TAG_RANGES`] ranges, so big
+/// archives stay one screenful), plus totals and an open/close balance
+/// note: a healthy trace opens and closes in near-equal numbers, so a
+/// truncated copy or a lopsided workload shows up directly here.
+fn cmd_inspect_tags(file: &str) {
+    const TAG_RANGES: usize = 12;
+    let archive = open_archive(file);
+    let nchunks = archive.chunks().len();
+    println!("archive:  {file}");
+    println!("records:  {}", archive.meta().total_records);
+    println!("chunks:   {nchunks}");
+    if nchunks == 0 {
+        return;
+    }
+    let per_range = nchunks.div_ceil(TAG_RANGES);
+    println!(
+        "{:>11} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "chunks", "create", "open", "close", "seek", "unlink", "truncate", "execve", "total"
+    );
+    let mut block = fstrace::block::RecordBlock::new();
+    let mut totals = [0u64; 7];
+    for start in (0..nchunks).step_by(per_range) {
+        let end = (start + per_range).min(nchunks);
+        let mut counts = [0u64; 7];
+        for i in start..end {
+            archive
+                .decode_chunk_into(i, &mut block)
+                .unwrap_or_else(|e| die(&format!("decode {file}: {e}")));
+            for (c, n) in counts.iter_mut().zip(block.kind_counts()) {
+                *c += n;
+            }
+        }
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+        let mut row = format!("{:>11}", format!("{}..{}", start, end - 1));
+        for c in counts {
+            row.push_str(&format!(" {c:>8}"));
+        }
+        row.push_str(&format!(" {:>8}", counts.iter().sum::<u64>()));
+        println!("{row}");
+    }
+    let mut row = format!("{:>11}", "total");
+    for t in totals {
+        row.push_str(&format!(" {t:>8}"));
+    }
+    row.push_str(&format!(" {:>8}", totals.iter().sum::<u64>()));
+    println!("{row}");
+    let opens = totals[0] + totals[1]; // create + open both open a file.
+    let closes = totals[2];
+    println!(
+        "balance:  {opens} opens vs {closes} closes ({} unmatched{})",
+        opens.abs_diff(closes),
+        if opens.abs_diff(closes) * 100 > opens.max(1) * 5 {
+            " — >5% imbalance; truncated trace or long-lived sessions"
+        } else {
+            ""
+        }
+    );
+}
+
 fn cmd_inspect(file: &str) {
     let archive = open_archive(file);
     let meta = archive.meta();
@@ -320,6 +386,7 @@ fn main() {
         [cmd, file, out, flags @ ..] if cmd == "pack" => cmd_pack(file, out, flags),
         [cmd, file, out] if cmd == "unpack" => cmd_unpack(file, out),
         [cmd, file] if cmd == "inspect" => cmd_inspect(file),
+        [cmd, file, flag] if cmd == "inspect" && flag == "--tags" => cmd_inspect_tags(file),
         [cmd, file] if cmd == "verify" => cmd_verify(file),
         [cmd, file] if cmd == "summary" => {
             let trace = load(file);
@@ -362,8 +429,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: tracefmt dump FILE | pack FILE OUT [--chunk-kib N] [--no-compress] \
-                 [--name NAME] | unpack FILE OUT | inspect FILE | verify FILE | summary FILE \
-                 | sessions FILE"
+                 [--name NAME] | unpack FILE OUT | inspect FILE [--tags] | verify FILE \
+                 | summary FILE | sessions FILE"
             );
             exit(2);
         }

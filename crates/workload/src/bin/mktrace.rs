@@ -139,7 +139,7 @@ fn main() {
          seed {seed}, {jobs} jobs ...",
         names.join(",")
     );
-    let config = FleetConfig {
+    let mut config = FleetConfig {
         mix,
         machines,
         seed,
@@ -149,6 +149,14 @@ fn main() {
         epoch_ms,
         ..FleetConfig::default()
     };
+    // Large fleets carry one full Fs per machine; switch to the
+    // memory-frugal geometry (identical block size and cache sizes, so
+    // cache behavior is unchanged) once the bsd42 footprint would
+    // dominate. DESIGN.md §14.
+    if machines >= 64 {
+        eprintln!("  (>= 64 machines: using the memory-frugal fleet() file-system geometry)");
+        config.fs_params = bsdfs::FsParams::fleet();
+    }
     let (stats, bytes) = if text {
         let mut sink = TextSink::new(BufWriter::new(file));
         let stats = gen_fleet(&config, &mut sink);

@@ -597,6 +597,19 @@ mod tests {
     }
 
     #[test]
+    fn fleet_params_generate_without_errors() {
+        // The memory-frugal fleet() geometry must still fit a full
+        // per-machine workload: no ENOSPC or inode exhaustion.
+        let config = FleetConfig {
+            fs_params: FsParams::fleet(),
+            ..tiny(3, 2)
+        };
+        let (recs, stats) = generate_fleet(&config).unwrap();
+        assert!(!recs.is_empty());
+        assert_eq!(stats.total_errors(), 0, "fleet() geometry ran out of room");
+    }
+
+    #[test]
     fn table_renders_a_row_per_machine() {
         let (_, stats) = generate_fleet(&tiny(2, 2)).unwrap();
         let table = stats.render_table();

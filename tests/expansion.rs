@@ -14,6 +14,7 @@ fn experiments_share_one_expansion_per_trace() {
     let set = TraceSet::generate_a5(&ReproConfig {
         hours: 0.1,
         seed: 7,
+        ..ReproConfig::default()
     })
     .expect("trace");
 

@@ -7,6 +7,7 @@ fn small_set() -> TraceSet {
     TraceSet::generate(&ReproConfig {
         hours: 0.25,
         seed: 77,
+        ..ReproConfig::default()
     })
     .expect("trace set")
 }

@@ -36,6 +36,7 @@ fn compute() -> Vec<(String, f64, f64)> {
     let set = TraceSet::generate(&ReproConfig {
         hours: 0.1,
         seed: 7,
+        ..ReproConfig::default()
     })
     .expect("traces");
     let mut out: Vec<(String, f64, f64)> = Vec::new();

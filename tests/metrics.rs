@@ -25,6 +25,7 @@ fn obs_metrics_invariants() {
     let set = TraceSet::generate_a5(&ReproConfig {
         hours: 0.1,
         seed: 7,
+        ..ReproConfig::default()
     })
     .expect("trace");
     let entry = set.a5();
