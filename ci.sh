@@ -260,6 +260,45 @@ awk -F'[:,]' '
     }' target/artifacts/BENCH_8.json
 echo "   wrote target/artifacts/BENCH_8.json"
 
+echo "== overlapped decode->replay pipeline benchmark artifact"
+# End-to-end records/s through the pipelined reader (decode overlapped
+# with replay on a worker pool) vs the serial decode+replay path over
+# the same archive. The binary asserts the pipelined cache metrics and
+# analysis suite are bit-identical to the serial ones before printing.
+# The speedup gate is core-count-adaptive like BENCH_5/6/7/8: >= 1.5x
+# on 4+ cores where decode and replay genuinely overlap, >= 1.2x on
+# 2-3 cores, and on one core just a 0.8x pathology floor (the threads
+# time-slice one CPU, so overlap cannot pay and condvar handoffs cost
+# a few percent — the identity checks and the absolute decode floor
+# are the non-waivable part). Pipelined decode alone must always
+# clear 5M records/s.
+./target/release/pipebench --hours 2 --seed 1985 --json \
+    > target/artifacts/BENCH_9.json
+awk -F'[:,]' '
+    /"cores"/ { cores = $2 }
+    /"decode_pipelined_records_s"/ { decode = $2 }
+    /"replay_serial_records_s"/ { serial = $2 }
+    /"replay_pipelined_records_s"/ { piped = $2 }
+    /"replay_speedup"/ { speedup = $2 }
+    /"analysis_records_s"/ { analysis = $2 }
+    /"identical"/ { identical = $2 }
+    /"analysis_identical"/ { aidentical = $2 }
+    END {
+        gsub(/[ "]/, "", identical); gsub(/[ "]/, "", aidentical)
+        if (identical != "true") { print "   pipeline: replay metrics diverged"; exit 1 }
+        if (aidentical != "true") { print "   pipeline: analysis suite diverged"; exit 1 }
+        if (decode + 0 < 5000000) {
+            print "   pipeline: pipelined decode " decode " rec/s < 5M floor"; exit 1
+        }
+        if (cores + 0 >= 4) floor = 1.5; else if (cores + 0 >= 2) floor = 1.2; else floor = 0.8
+        if (speedup + 0 < floor) {
+            print "   pipeline: replay " speedup "x < " floor "x serial (" cores " cores)"; exit 1
+        }
+        printf "   pipeline: replay %.0f rec/s pipelined vs %.0f serial (%sx, floor %sx on %s core(s)), analysis %.0f rec/s\n", \
+            piped, serial, speedup, floor, cores, analysis
+    }' target/artifacts/BENCH_9.json
+echo "   wrote target/artifacts/BENCH_9.json"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

@@ -5,9 +5,7 @@
 //! insert, touch, and evict, which matters when replaying multi-million-
 //! event traces across dozens of parameter combinations.
 
-use std::collections::HashMap;
-
-use fstrace::FileId;
+use fstrace::{FastMap, FileId};
 
 use crate::config::{CacheConfig, Replacement, WritePolicy};
 use crate::metrics::CacheMetrics;
@@ -36,7 +34,7 @@ struct Slot {
 
 /// A fixed-capacity cache of disk blocks with LRU or FIFO replacement.
 pub struct BlockCache {
-    map: HashMap<BlockId, u32>,
+    map: FastMap<BlockId, u32>,
     slots: Vec<Slot>,
     free: Vec<u32>,
     head: u32, // Most recently used.
@@ -52,7 +50,7 @@ pub struct BlockCache {
     /// Head slot of each file's chain of cached blocks, threaded
     /// through the slab via `fprev`/`fnext` — O(file blocks) delete
     /// and truncate with no per-file allocation.
-    per_file: HashMap<FileId, u32>,
+    per_file: FastMap<FileId, u32>,
     /// Metrics accumulated across the run.
     pub metrics: CacheMetrics,
 }
@@ -61,7 +59,7 @@ impl BlockCache {
     /// Creates a cache from a configuration.
     pub fn new(config: &CacheConfig) -> Self {
         BlockCache {
-            map: HashMap::new(),
+            map: FastMap::default(),
             slots: Vec::new(),
             free: Vec::new(),
             head: NIL,
@@ -72,7 +70,7 @@ impl BlockCache {
             elision: config.whole_block_elision,
             last_flush_ms: 0,
             dirty: 0,
-            per_file: HashMap::new(),
+            per_file: FastMap::default(),
             metrics: CacheMetrics::default(),
         }
     }

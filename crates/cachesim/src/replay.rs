@@ -16,9 +16,7 @@
 //! * [`Fidelity::Open`] emits one [`ReplayEvent::Op`] per open-close
 //!   session, reconstructed from the session's transfer total.
 
-use std::collections::HashMap;
-
-use fstrace::{AccessMode, FileId, OpenId, Trace, TraceEvent, TraceRecord};
+use fstrace::{AccessMode, FastMap, FileId, OpenId, Trace, TraceEvent, TraceRecord};
 
 use crate::cache::{BlockCache, BlockId};
 use crate::config::{CacheConfig, Fidelity, RwHandling};
@@ -160,6 +158,7 @@ impl Billing {
 }
 
 /// In-flight position tracking for one open file during expansion.
+#[derive(Clone, Copy)]
 struct PendingOpen {
     file: FileId,
     mode: AccessMode,
@@ -181,28 +180,51 @@ struct Run {
 /// tracks in-flight opens, reconstructs the sequential runs that
 /// `seek`/`close` events bill, and accumulates per-session transfer
 /// totals. Memory is O(simultaneously open files), never O(records).
+///
+/// Session state lives in an arena: `slots` holds the [`PendingOpen`]
+/// payloads, `free` recycles the indices of closed sessions, and the
+/// small `index` map only stores `OpenId -> u32` slot handles. An
+/// open/close pair therefore allocates nothing in steady state — the
+/// slot vector grows once to the high-water mark of simultaneously
+/// open files and is reused for the rest of the trace. Slot indices
+/// are stable for the lifetime of their session.
 #[derive(Default)]
 struct OpenTable {
-    pending: HashMap<OpenId, PendingOpen>,
+    slots: Vec<PendingOpen>,
+    free: Vec<u32>,
+    index: FastMap<OpenId, u32>,
 }
 
 impl OpenTable {
     /// Starts tracking a session at position 0.
     fn open(&mut self, open_id: OpenId, file: FileId, mode: AccessMode) {
-        self.pending.insert(
-            open_id,
-            PendingOpen {
-                file,
-                mode,
-                pos: 0,
-                total: 0,
-            },
-        );
+        let p = PendingOpen {
+            file,
+            mode,
+            pos: 0,
+            total: 0,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = p;
+                slot
+            }
+            None => {
+                self.slots.push(p);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        if let Some(old) = self.index.insert(open_id, slot) {
+            // A re-used OpenId overwrote an unclosed session, matching
+            // the map-based table's insert semantics: free the orphan.
+            self.free.push(old);
+        }
     }
 
     /// Ends the run a `seek` bills (if any) and repositions.
     fn seek(&mut self, open_id: OpenId, old_pos: u64, new_pos: u64) -> Option<Run> {
-        let p = self.pending.get_mut(&open_id)?;
+        let slot = *self.index.get(&open_id)?;
+        let p = &mut self.slots[slot as usize];
         let run = if old_pos > p.pos {
             let len = old_pos - p.pos;
             p.total += len;
@@ -222,7 +244,9 @@ impl OpenTable {
     /// Ends the session a `close` ends, returning it together with its
     /// final run (if any), already folded into the session total.
     fn close(&mut self, open_id: OpenId, final_pos: u64) -> Option<(PendingOpen, Option<Run>)> {
-        let mut p = self.pending.remove(&open_id)?;
+        let slot = self.index.remove(&open_id)?;
+        self.free.push(slot);
+        let p = &mut self.slots[slot as usize];
         let run = if final_pos > p.pos {
             let len = final_pos - p.pos;
             p.total += len;
@@ -235,7 +259,7 @@ impl OpenTable {
         } else {
             None
         };
-        Some((p, run))
+        Some((*p, run))
     }
 }
 
@@ -576,7 +600,7 @@ impl EventExpander {
 pub struct Replayer {
     cache: BlockCache,
     config: CacheConfig,
-    sizes: std::collections::HashMap<FileId, u64>,
+    sizes: FastMap<FileId, u64>,
     end_time: u64,
 }
 
@@ -586,7 +610,7 @@ impl Replayer {
         Replayer {
             cache: BlockCache::new(config),
             config: config.clone(),
-            sizes: std::collections::HashMap::new(),
+            sizes: FastMap::default(),
             end_time: 0,
         }
     }
@@ -745,6 +769,21 @@ impl Simulator {
         let mut r = Replayer::new(config);
         for block in blocks {
             expander.feed_block(std::borrow::Borrow::borrow(&block), &mut |ev| r.step(&ev));
+        }
+        r.finish()
+    }
+
+    /// Replays a refillable block source through one reused column
+    /// buffer — the allocation-free twin of [`Simulator::run_blocks`].
+    /// With a [`tracestore`]-style pipelined source the drained buffer
+    /// is handed back to the producer on every refill, so the steady
+    /// state allocates nothing.
+    pub fn run_fill<S: fstrace::FillBlock>(mut source: S, config: &CacheConfig) -> CacheMetrics {
+        let mut expander = EventExpander::new(config);
+        let mut r = Replayer::new(config);
+        let mut block = fstrace::RecordBlock::new();
+        while source.fill_next(&mut block) {
+            expander.feed_block(&block, &mut |ev| r.step(&ev));
         }
         r.finish()
     }

@@ -44,10 +44,10 @@
 //! tracked cache, so a later reference is a cold miss everywhere, which
 //! is exactly what forgetting them produces).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use fstrace::{FileId, TraceRecord};
+use fstrace::{FastMap, FastSet, FileId, TraceRecord};
 use simstat::Distribution;
 
 use crate::cache::BlockId;
@@ -191,7 +191,7 @@ struct PolicyState {
     /// Flush interval for `FlushBack`, `None` otherwise.
     interval_ms: Option<u64>,
     last_flush_ms: u64,
-    dirty: HashMap<BlockId, DirtyPart>,
+    dirty: FastMap<BlockId, DirtyPart>,
     /// Per capacity index: writebacks (flushes + evictions).
     disk_writes: Vec<u64>,
     /// Per capacity index: dirty blocks invalidated before any write.
@@ -230,14 +230,14 @@ pub struct StackEngine {
     // The recency stack.
     fen: Fenwick,
     owner: Vec<SeqState>,
-    blocks: HashMap<BlockId, u32>,
+    blocks: FastMap<BlockId, u32>,
     holes: BTreeSet<u32>,
     active: u64,
     next_seq: u32,
-    per_file: HashMap<FileId, HashSet<u64>>,
+    per_file: FastMap<FileId, FastSet<u64>>,
 
     // Replay state mirroring `Replayer`.
-    sizes: HashMap<FileId, u64>,
+    sizes: FastMap<FileId, u64>,
     end_time: u64,
 
     // Distance accounting. `*_split[k]` counts accesses whose distance
@@ -294,7 +294,7 @@ impl StackEngine {
                                     _ => None,
                                 },
                                 last_flush_ms: 0,
-                                dirty: HashMap::new(),
+                                dirty: FastMap::default(),
                                 disk_writes: vec![0; k],
                                 never_written: vec![0; k],
                                 residency: vec![Distribution::new(); k],
@@ -320,12 +320,12 @@ impl StackEngine {
             pol,
             fen: Fenwick::new(64),
             owner: vec![SeqState::Empty; 64],
-            blocks: HashMap::new(),
+            blocks: FastMap::default(),
             holes: BTreeSet::new(),
             active: 0,
             next_seq: 0,
-            per_file: HashMap::new(),
-            sizes: HashMap::new(),
+            per_file: FastMap::default(),
+            sizes: FastMap::default(),
             end_time: 0,
             total_reads: 0,
             total_writes: 0,

@@ -128,12 +128,13 @@ pub fn run_with_jobs(
 /// `jobs` worker threads, expanding the stream once per
 /// [`ExpansionKey`] group.
 ///
-/// `source` is called once per expansion group and must yield the same
-/// records, in time order, each call. A group with a single cell
-/// streams records straight through the expander into its simulator —
-/// no per-record buffering at all; a group with several cells
-/// materializes its event vector once so the scoped thread pool can
-/// borrow it read-only.
+/// `source` may be called several times and must yield the same
+/// records, in time order, each call: once per *streaming* group (a
+/// single cell, or a group profiled whole), plus at most **one** call
+/// shared by every event-materializing group — their expanders all
+/// consume the same pass, so a mixed sweep never re-decodes the stream
+/// per buffered group. Each buffered group's event vector is
+/// materialized once and borrowed read-only by the thread pool.
 ///
 /// The result vector is ordered exactly like `configs`, and each entry
 /// is bit-identical to `Simulator::run` of that configuration over the
@@ -170,6 +171,19 @@ where
     let mut slots: Vec<Option<CacheMetrics>> = vec![None; configs.len()];
     let mut profiled_cells = 0u64;
     let mut fallback_cells = 0u64;
+    // Groups that must materialize their event vector. They are
+    // collected first and then fed from ONE shared pass over the
+    // source: each record fans out to every buffered group's expander,
+    // so a sweep with several event-materializing groups decodes (or
+    // merges, or pipelines) the record stream once, not once per group.
+    struct Buffered {
+        /// Config indices of the group (first entry keys the expander).
+        first: usize,
+        direct: Vec<usize>,
+        subgroups: Vec<Vec<usize>>,
+        events: Vec<ReplayEvent>,
+    }
+    let mut buffered: Vec<Buffered> = Vec::new();
     for (_, idxs) in &groups {
         if let [i] = idxs.as_slice() {
             // A lone cell consumes the expansion exactly once: stream
@@ -234,39 +248,61 @@ where
             continue;
         }
 
-        // One expansion for the whole group, borrowed by every worker.
-        let events: Vec<ReplayEvent> = {
-            let mut expander = EventExpander::new(&configs[idxs[0]]);
-            let mut out = Vec::new();
-            for rec in source() {
-                expander.feed(std::borrow::Borrow::borrow(&rec), &mut |ev| out.push(ev));
+        buffered.push(Buffered {
+            first: idxs[0],
+            direct,
+            subgroups: subgroups.into_iter().map(|(_, cells)| cells).collect(),
+            events: Vec::new(),
+        });
+    }
+
+    if !buffered.is_empty() {
+        // One expansion pass shared by every buffered group: each
+        // record feeds each group's expander, each expander fills its
+        // own event vector for the workers to borrow read-only.
+        let mut expanders: Vec<EventExpander> = buffered
+            .iter()
+            .map(|b| EventExpander::new(&configs[b.first]))
+            .collect();
+        for rec in source() {
+            let rec = std::borrow::Borrow::borrow(&rec);
+            for (b, ex) in buffered.iter_mut().zip(&mut expanders) {
+                ex.feed(rec, &mut |ev| b.events.push(ev));
             }
-            out
-        };
+        }
+
         // Profile subgroups first: they are the heaviest tasks, so
         // they should start before the pool fills up with quick cells.
         enum Task<'a> {
-            Profile(&'a [usize]),
-            Direct(usize),
+            Profile(&'a [ReplayEvent], &'a [usize]),
+            Direct(&'a [ReplayEvent], usize),
         }
-        let tasks: Vec<Task> = subgroups
+        let tasks: Vec<Task> = buffered
             .iter()
-            .map(|(_, cells)| Task::Profile(cells))
-            .chain(direct.iter().map(|&i| Task::Direct(i)))
+            .flat_map(|b| {
+                b.subgroups
+                    .iter()
+                    .map(|cells| Task::Profile(&b.events, cells))
+            })
+            .chain(
+                buffered
+                    .iter()
+                    .flat_map(|b| b.direct.iter().map(|&i| Task::Direct(&b.events, i))),
+            )
             .collect();
         let run_task = |task: &Task| -> Vec<(usize, CacheMetrics)> {
             match *task {
-                Task::Direct(i) => vec![(
+                Task::Direct(events, i) => vec![(
                     i,
                     timed_cell(&cell_span, &cell_us, || {
-                        Simulator::run_events(&events, &configs[i])
+                        Simulator::run_events(events, &configs[i])
                     }),
                 )],
-                Task::Profile(cell_idxs) => {
+                Task::Profile(events, cell_idxs) => {
                     let cells: Vec<CacheConfig> =
                         cell_idxs.iter().map(|&i| configs[i].clone()).collect();
                     let metrics = timed_cells(&cell_span, &cell_us, cells.len(), || {
-                        stack::profile_events(&events, &cells)
+                        stack::profile_events(events, &cells)
                             .expect("partitioned subgroup cells are jointly profilable")
                     });
                     cell_idxs.iter().copied().zip(metrics).collect()
@@ -280,30 +316,30 @@ where
                     slots[i] = Some(m);
                 }
             }
-            continue;
-        }
-        let next = AtomicUsize::new(0);
-        let done = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut out: Vec<(usize, CacheMetrics)> = Vec::new();
-                        loop {
-                            let n = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(task) = tasks.get(n) else { break };
-                            out.extend(run_task(task));
-                        }
-                        out
+        } else {
+            let next = AtomicUsize::new(0);
+            let done = thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut out: Vec<(usize, CacheMetrics)> = Vec::new();
+                            loop {
+                                let n = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(task) = tasks.get(n) else { break };
+                                out.extend(run_task(task));
+                            }
+                            out
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("sweep worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for (i, m) in done {
-            slots[i] = Some(m);
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("sweep worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (i, m) in done {
+                slots[i] = Some(m);
+            }
         }
     }
     if stack::enabled() {
@@ -326,21 +362,26 @@ where
 /// — the columnar twin of [`run_source`] for batched-decode producers
 /// like `tracestore::Archive::blocks`.
 ///
-/// `source` is called once per expansion group and must yield the same
-/// blocks, in time order, each call; records are materialized from the
-/// columns one view at a time via [`fstrace::BlockRecords`], so the
-/// grouping, profiling, and parallelism behavior is exactly
+/// `source` must yield the same blocks, in time order, each call (see
+/// [`run_source`] for how many calls a sweep makes); records are
+/// materialized from the columns one view at a time via
+/// [`fstrace::FillRecords`], which drains each block through one reused
+/// set of column buffers — so block producers that implement
+/// [`fstrace::FillBlock`] natively (e.g.
+/// `tracestore::PipelinedBlocks`) stream through the sweep with no
+/// per-chunk allocation, and plain block iterators work via the blanket
+/// impl. Grouping, profiling, and parallelism behavior is exactly
 /// [`run_source`]'s.
-pub fn run_block_source<I, F>(
+pub fn run_block_source<S, F>(
     source: F,
     configs: &[CacheConfig],
     jobs: usize,
 ) -> Vec<(CacheConfig, CacheMetrics)>
 where
-    I: Iterator<Item = fstrace::RecordBlock>,
-    F: Fn() -> I,
+    S: fstrace::FillBlock,
+    F: Fn() -> S,
 {
-    run_source(|| fstrace::BlockRecords::new(source()), configs, jobs)
+    run_source(|| fstrace::FillRecords::new(source()), configs, jobs)
 }
 
 /// Runs one profiled subgroup under wall-clock timing, attributing an

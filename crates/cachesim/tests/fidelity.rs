@@ -299,6 +299,74 @@ proptest! {
     }
 }
 
+/// Heavy open/close/unlink churn over a handful of open ids: with
+/// only four ids live across hundreds of events, the arena-backed
+/// `OpenTable` recycles freed slots constantly and reused ids land on
+/// top of still-open sessions (the orphan-overwrite path). Every such
+/// sequence must expand to the identical event stream — and replay to
+/// the identical cache metrics — as the pre-arena `HashMap` table the
+/// `LegacyExpander` vendors.
+fn arb_churn_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (0u64..4, 0u64..3, arb_mode(), 0u64..100_000, any::<bool>()).prop_map(
+            |(o, f, mode, size, created)| TraceEvent::Open {
+                open_id: OpenId(o),
+                file_id: FileId(f),
+                user_id: UserId(0),
+                mode,
+                size,
+                created,
+            }
+        ),
+        (0u64..4, 0u64..100_000).prop_map(|(o, p)| TraceEvent::Close {
+            open_id: OpenId(o),
+            final_pos: p,
+        }),
+        (0u64..4, 0u64..100_000, 0u64..100_000).prop_map(|(o, a, b)| TraceEvent::Seek {
+            open_id: OpenId(o),
+            old_pos: a,
+            new_pos: b,
+        }),
+        (0u64..3).prop_map(|f| TraceEvent::Unlink {
+            file_id: FileId(f),
+            user_id: UserId(0),
+        }),
+    ]
+}
+
+fn arb_churn_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..100_000u64, arb_churn_event()), 0..400).prop_map(|pairs| {
+        Trace::from_records(
+            pairs
+                .into_iter()
+                .map(|(t, e)| TraceRecord::new(t, e))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arena slot reuse is invisible: churn-heavy traces expand and
+    /// replay bit-identically to the pre-arena path.
+    #[test]
+    fn arena_slot_reuse_matches_prearena_path(trace in arb_churn_trace()) {
+        let config = CacheConfig {
+            rw_handling: RwHandling::Both,
+            simulate_paging: true,
+            ..CacheConfig::default()
+        };
+        let got = replay_events(&trace, &config);
+        let want = legacy_events(&trace, &config);
+        prop_assert_eq!(&got, &want);
+        prop_assert_eq!(
+            Simulator::run(&trace, &config),
+            Simulator::run_events(&want, &config)
+        );
+    }
+}
+
 /// A golden trace exercising every expander path: creation, seeks
 /// (forward and backward), read-write sessions, truncate, unlink,
 /// execve, and an unclosed open.

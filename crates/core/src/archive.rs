@@ -51,7 +51,17 @@ pub fn load_trace(path: &Path, jobs: usize) -> Option<Trace> {
         eprintln!("  archive {}: footer damaged; regenerating", path.display());
         return None;
     }
-    let (records, report) = archive.decode_parallel(jobs);
+    // Materialize through the overlapped decode pipeline: decode of
+    // chunk i+1.. proceeds while chunk i's records append, and the
+    // pipeline.* stage spans populate for `repro --metrics`.
+    let total = archive.meta().total_records as usize;
+    let archive = std::sync::Arc::new(archive);
+    let mut blocks = std::sync::Arc::clone(&archive).pipelined(tracestore::Corruption::Skip, jobs);
+    let mut records = Vec::with_capacity(total);
+    for b in (&mut blocks).flatten() {
+        b.append_to(&mut records);
+    }
+    let report = blocks.report().clone();
     if !report.is_clean() {
         eprintln!(
             "  archive {}: {} corrupt chunk(s), {} records lost; regenerating",

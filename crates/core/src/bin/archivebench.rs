@@ -11,8 +11,9 @@
 //! * pack and unpack throughput (raw trace Mbytes per second) and the
 //!   achieved compression ratio;
 //! * single-threaded vs `--jobs`-way chunk-parallel decode time
-//!   (best of three passes each, so scheduler noise cannot fake a
-//!   regression) and the resulting speedup;
+//!   (best of five passes each after one untimed warm-up, so cold
+//!   caches and scheduler noise cannot fake a regression) and the
+//!   resulting speedup;
 //! * scalar (record-at-a-time) vs columnar batched decode records/s
 //!   over an uncompressed archive — the replay-hot-path comparison —
 //!   plus end-to-end replay records/s through the batched pipeline;
@@ -53,8 +54,18 @@ fn grid() -> Vec<CacheConfig> {
         .collect()
 }
 
-/// Best-of-`n` wall-clock time of `f`, in milliseconds.
+/// Untimed warm-up passes before each timed measurement, so cold
+/// caches, lazy page faults, and first-touch allocation never count
+/// against the first timed iteration. Reported as `warmup_runs` in
+/// the JSON output so downstream gates know the policy.
+const WARMUP_RUNS: usize = 1;
+
+/// Best-of-`n` wall-clock time of `f` in milliseconds, after
+/// [`WARMUP_RUNS`] untimed warm-up passes.
 fn best_ms<T>(n: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    for _ in 0..WARMUP_RUNS {
+        std::hint::black_box(f());
+    }
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..n {
@@ -125,9 +136,9 @@ fn main() {
         compress: true,
         name: "a5".into(),
     };
-    // Pack (best of 3): raw records -> framed, checksummed, compressed
+    // Pack (best of 5): raw records -> framed, checksummed, compressed
     // archive bytes.
-    let (pack_ms, bytes) = best_ms(3, || {
+    let (pack_ms, bytes) = best_ms(5, || {
         let mut w = ArchiveWriter::new(Vec::new(), opts.clone())
             .unwrap_or_else(|e| die(&format!("archive header: {e}")));
         for rec in trace.records() {
@@ -145,9 +156,9 @@ fn main() {
     let raw_payload: u64 = archive.chunks().iter().map(|c| c.raw_len as u64).sum();
     let compression = obs::ratio(raw_payload, stored);
 
-    // Decode: single-threaded vs chunk-parallel, best of 3 each.
-    let (decode1_ms, (seq_records, seq_report)) = best_ms(3, || archive.read_all());
-    let (decode_par_ms, (par_records, par_report)) = best_ms(3, || archive.decode_parallel(jobs));
+    // Decode: single-threaded vs chunk-parallel, best of 5 each.
+    let (decode1_ms, (seq_records, seq_report)) = best_ms(5, || archive.read_all());
+    let (decode_par_ms, (par_records, par_report)) = best_ms(5, || archive.decode_parallel(jobs));
     if !seq_report.is_clean() || !par_report.is_clean() {
         die("fresh archive failed verification");
     }
@@ -214,7 +225,7 @@ fn main() {
         write_policy: WritePolicy::DelayedWrite,
         ..CacheConfig::default()
     };
-    let (replay_ms, _) = best_ms(3, || {
+    let (replay_ms, _) = best_ms(5, || {
         cachesim::Simulator::run_blocks(
             plain
                 .blocks(tracestore::Corruption::Fail)
@@ -259,6 +270,7 @@ fn main() {
         s.push_str(&format!("  \"seed\": {seed},\n"));
         s.push_str(&format!("  \"jobs\": {jobs},\n"));
         s.push_str(&format!("  \"cores\": {cores},\n"));
+        s.push_str(&format!("  \"warmup_runs\": {WARMUP_RUNS},\n"));
         s.push_str(&format!("  \"records\": {},\n", trace.len()));
         s.push_str(&format!("  \"chunks\": {chunks},\n"));
         s.push_str(&format!("  \"raw_bytes\": {raw_bytes},\n"));

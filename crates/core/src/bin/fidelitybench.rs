@@ -7,7 +7,9 @@
 //! Generates one a5-profile trace, then replays it through a single
 //! representative cache configuration (2 MB, delayed write, 4 KB
 //! blocks) at block, syscall, and open fidelity, timing the best of N
-//! runs each. Coarser fidelities expand fewer replay events and skip
+//! runs each after one untimed warm-up pass (the `warmup_runs` JSON
+//! field records the policy). Coarser fidelities expand fewer replay
+//! events and skip
 //! per-block byte accounting, so they must not be slower than block
 //! replay: ci.sh records the result as `BENCH_8.json` and gates on
 //! `syscall_speedup`.
@@ -20,7 +22,7 @@ use workload::{generate, MachineProfile, WorkloadConfig};
 fn main() {
     let mut hours = 0.25f64;
     let mut seed = 1985u64;
-    let mut repeat = 3usize;
+    let mut repeat = 5usize;
     let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,7 +67,10 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
-    // records/s of raw trace replayed per fidelity, best of `repeat`.
+    // records/s of raw trace replayed per fidelity: one untimed
+    // warm-up pass (cold caches and first-touch page faults stay out
+    // of the measurement), then best of `repeat` timed runs.
+    const WARMUP_RUNS: usize = 1;
     let mut rates = [0f64; 3];
     let mut misses = [0f64; 3];
     for (fi, fidelity) in Fidelity::ALL.into_iter().enumerate() {
@@ -76,6 +81,9 @@ fn main() {
             fidelity,
             ..CacheConfig::default()
         };
+        for _ in 0..WARMUP_RUNS {
+            std::hint::black_box(Simulator::run(&out.trace, &cfg));
+        }
         let mut best_ms = f64::INFINITY;
         for _ in 0..repeat {
             let started = Instant::now();
@@ -95,6 +103,7 @@ fn main() {
         s.push_str(&format!("  \"hours\": {hours},\n"));
         s.push_str(&format!("  \"seed\": {seed},\n"));
         s.push_str(&format!("  \"repeat\": {repeat},\n"));
+        s.push_str(&format!("  \"warmup_runs\": {WARMUP_RUNS},\n"));
         s.push_str(&format!("  \"cores\": {cores},\n"));
         s.push_str(&format!("  \"records\": {},\n", out.trace.len()));
         s.push_str(&format!("  \"block_records_per_s\": {:.0},\n", rates[0]));

@@ -1,9 +1,9 @@
 //! System activity: users, active users, and per-user throughput
 //! (Table IV of the paper).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use fstrace::{OpenId, Trace, TraceEvent, TraceRecord, UserId};
+use fstrace::{FastMap, OpenId, Trace, TraceEvent, TraceRecord, UserId};
 use simstat::{OnlineStats, WindowedSums};
 
 use crate::stream::Analyzer;
@@ -80,7 +80,7 @@ pub struct ActivityBuilder {
     windows: Vec<WindowedSums>,
     /// Open id → (user, current position): enough state to bill runs at
     /// the very record that ends them.
-    pending: HashMap<OpenId, (UserId, u64)>,
+    pending: FastMap<OpenId, (UserId, u64)>,
     users: BTreeSet<u32>,
     total_bytes: u64,
     first_ms: Option<u64>,
@@ -96,7 +96,7 @@ impl ActivityBuilder {
                 .iter()
                 .map(|&secs| WindowedSums::new(secs * 1000))
                 .collect(),
-            pending: HashMap::new(),
+            pending: FastMap::default(),
             users: BTreeSet::new(),
             total_bytes: 0,
             first_ms: None,

@@ -5,9 +5,7 @@
 //! measured 75% of intervals under 0.5 s, 90% under 10 s, and 99% under
 //! 30 s, justifying the no-read-write tracing approach.
 
-use std::collections::HashMap;
-
-use fstrace::{OpenId, Trace, TraceEvent, TraceRecord};
+use fstrace::{FastMap, OpenId, Trace, TraceEvent, TraceRecord};
 use simstat::Distribution;
 
 use crate::stream::Analyzer;
@@ -41,7 +39,7 @@ impl EventGapAnalysis {
 /// recorded at the later of its two events. Memory is O(open files).
 #[derive(Debug, Clone, Default)]
 pub struct EventGapBuilder {
-    last: HashMap<OpenId, u64>,
+    last: FastMap<OpenId, u64>,
     out: EventGapAnalysis,
 }
 

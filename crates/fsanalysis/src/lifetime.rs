@@ -7,9 +7,7 @@
 //! at the end of the trace are censored and excluded, just as the
 //! paper's trace-bounded measurement necessarily was.
 
-use std::collections::HashMap;
-
-use fstrace::{FileId, OpenSession, SessionBuilder, Trace, TraceEvent, TraceRecord};
+use fstrace::{FastMap, FileId, OpenSession, SessionBuilder, Trace, TraceEvent, TraceRecord};
 use simstat::Distribution;
 
 use crate::stream::Analyzer;
@@ -121,7 +119,7 @@ impl LifetimeAnalysis {
 /// Memory is O(new files currently alive), never O(records).
 #[derive(Default)]
 pub struct LifetimeBuilder {
-    alive: HashMap<FileId, Birth>,
+    alive: FastMap<FileId, Birth>,
     out: LifetimeAnalysis,
 }
 

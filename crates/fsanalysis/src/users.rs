@@ -5,9 +5,7 @@
 //! intervals". This module quantifies that: per-user totals and the
 //! peak-to-mean ratio of each user's transfer rate.
 
-use std::collections::HashMap;
-
-use fstrace::{OpenSession, Trace, UserId};
+use fstrace::{FastMap, OpenSession, Trace, UserId};
 
 use crate::stream::Analyzer;
 
@@ -82,9 +80,9 @@ impl UserAnalysis {
 /// active windows), never O(records).
 #[derive(Debug, Clone, Default)]
 pub struct UserAnalysisBuilder {
-    bytes: HashMap<UserId, u64>,
-    nsessions: HashMap<UserId, u64>,
-    windows: HashMap<(UserId, u64), u64>,
+    bytes: FastMap<UserId, u64>,
+    nsessions: FastMap<UserId, u64>,
+    windows: FastMap<(UserId, u64), u64>,
 }
 
 impl UserAnalysisBuilder {

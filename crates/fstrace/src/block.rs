@@ -567,6 +567,86 @@ impl<I: Iterator<Item = RecordBlock>> Iterator for BlockRecords<I> {
     }
 }
 
+/// A block producer that refills a caller-owned [`RecordBlock`] in
+/// place — the allocation-free twin of `Iterator<Item = RecordBlock>`.
+///
+/// Where an owning iterator hands out a freshly allocated block per
+/// chunk, a `FillBlock` source writes into (or swaps with) the block
+/// the consumer already holds, so a steady-state decode → replay loop
+/// recycles the same column buffers for the whole stream. Sources with
+/// a corruption policy apply it internally (skip and continue, or stop
+/// early) and expose what happened through their own reporting API;
+/// `fill_next` itself only says whether another block arrived.
+pub trait FillBlock {
+    /// Replaces `out`'s contents with the next block of the stream.
+    /// Returns `false` when the stream is exhausted (or the source
+    /// stopped on an error per its policy), leaving `out` unspecified.
+    fn fill_next(&mut self, out: &mut RecordBlock) -> bool;
+}
+
+/// Any owning block iterator is a [`FillBlock`] source: the incoming
+/// block replaces `out` wholesale (the allocation, if any, is the
+/// producer's).
+impl<I: Iterator<Item = RecordBlock>> FillBlock for I {
+    fn fill_next(&mut self, out: &mut RecordBlock) -> bool {
+        match self.next() {
+            Some(b) => {
+                *out = b;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Flattens a [`FillBlock`] source into a record iterator, reusing one
+/// [`RecordBlock`] for the entire stream.
+///
+/// This is what `cachesim::sweep::run_block_source` threads its record
+/// streams through: each refill overwrites the previous chunk's
+/// columns in place, so a multi-gigabyte archive replays with a single
+/// block's worth of column buffers no matter how many chunks it has.
+pub struct FillRecords<S> {
+    source: S,
+    current: RecordBlock,
+    at: usize,
+}
+
+impl<S: FillBlock> FillRecords<S> {
+    /// Wraps a refillable block source.
+    pub fn new(source: S) -> Self {
+        FillRecords {
+            source,
+            current: RecordBlock::new(),
+            at: 0,
+        }
+    }
+
+    /// The underlying source (e.g. to read a recovery report after the
+    /// stream ends).
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+}
+
+impl<S: FillBlock> Iterator for FillRecords<S> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.at < self.current.len() {
+                let rec = self.current.get(self.at);
+                self.at += 1;
+                return Some(rec);
+            }
+            if !self.source.fill_next(&mut self.current) {
+                return None;
+            }
+            self.at = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

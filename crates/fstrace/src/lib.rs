@@ -16,7 +16,11 @@
 //! * [`codec`] — a compact varint binary codec and a line-oriented text
 //!   codec, with [`TraceWriter`]/[`TraceReader`] streaming adapters.
 //! * [`block`] — columnar batched decoding: [`RecordBlock`] column
-//!   vectors filled by one pass over a byte slice, the replay hot path.
+//!   vectors filled by one pass over a byte slice, the replay hot path,
+//!   plus the [`FillBlock`] refill contract that lets consumers reuse
+//!   one block's buffers across a whole stream.
+//! * [`hash`] — the [`FastMap`]/[`FastSet`] FxHash-style maps used by
+//!   every hot id-keyed table in the replay and analysis loops.
 //! * [`source`] — streaming [`source::RecordSource`] /
 //!   [`source::RecordSink`] contracts, the k-way time-ordered
 //!   [`MergeSource`], and the [`ReorderBuffer`] that bounds the memory
@@ -50,15 +54,17 @@
 pub mod block;
 pub mod codec;
 mod event;
+pub mod hash;
 mod ids;
 pub mod session;
 pub mod source;
 pub mod summary;
 mod trace;
 
-pub use block::{BlockRecords, RecordBlock};
+pub use block::{BlockRecords, FillBlock, FillRecords, RecordBlock};
 pub use codec::{TraceReader, TraceWriter};
 pub use event::{AccessMode, EventKind, TraceEvent, TraceRecord};
+pub use hash::{FastMap, FastSet};
 pub use ids::{FileId, OpenId, Timestamp, UserId, TICK_MS};
 pub use session::{OpenSession, Run, SessionBuilder, SessionSet};
 pub use source::{

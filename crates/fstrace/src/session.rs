@@ -10,7 +10,7 @@
 //! Following the paper, every transfer is *billed at the time of the next
 //! `close` or `seek` event* for the file.
 
-use std::collections::HashMap;
+use crate::hash::FastMap;
 
 use crate::event::{AccessMode, TraceEvent, TraceRecord};
 use crate::ids::{FileId, OpenId, Timestamp, UserId};
@@ -168,7 +168,7 @@ struct Pending {
 /// ```
 #[derive(Default)]
 pub struct SessionBuilder {
-    pending: HashMap<OpenId, Pending>,
+    pending: FastMap<OpenId, Pending>,
     anomalies: u64,
     live_peak: usize,
 }

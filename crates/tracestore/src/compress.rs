@@ -100,13 +100,28 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 /// trailing garbage — yields an error; the decoder never panics and
 /// never allocates beyond `expected_len`.
 pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, DecodeError> {
+    let mut out = Vec::with_capacity(expected_len);
+    decompress_into(stream, expected_len, &mut out)?;
+    Ok(out)
+}
+
+/// [`decompress`] into a caller-owned buffer: `out` is cleared and
+/// refilled, so a loop over many chunks reuses one allocation at the
+/// high-water chunk size instead of allocating per chunk. On error the
+/// buffer's contents are unspecified (but bounded by `expected_len`).
+pub fn decompress_into(
+    stream: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), DecodeError> {
     let corrupt = || DecodeError::BadField("compressed chunk payload");
     let mut pos = 0usize;
     let raw_len = get_varint(stream, &mut pos)? as usize;
     if raw_len != expected_len {
         return Err(corrupt());
     }
-    let mut out = Vec::with_capacity(raw_len);
+    out.clear();
+    out.reserve(raw_len);
     while out.len() < raw_len {
         let &ctrl = stream.get(pos).ok_or_else(corrupt)?;
         pos += 1;
@@ -147,7 +162,7 @@ pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, DecodeE
     if pos != stream.len() {
         return Err(corrupt());
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

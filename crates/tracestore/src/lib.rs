@@ -30,6 +30,9 @@
 //! [`ArchiveWriter`] is a [`fstrace::source::RecordSink`];
 //! [`Archive::records`] yields a [`fstrace::source::RecordSource`].
 //! Both ends of the existing streaming pipeline plug in unchanged.
+//! [`PipelinedBlocks`] ([`Archive::pipelined`]) overlaps chunk
+//! verify/decompress/decode with the consumer on a worker pool while
+//! staying byte-identical to the sequential readers.
 //!
 //! The `tracefmt` binary (this crate) packs, unpacks, inspects, and
 //! verifies archives alongside its flat-format duties.
@@ -37,10 +40,12 @@
 pub mod compress;
 pub mod crc32;
 pub mod format;
+pub mod pipeline;
 pub mod reader;
 pub mod writer;
 
 pub use format::{ArchiveMeta, ChunkInfo};
+pub use pipeline::PipelinedBlocks;
 pub use reader::{
     Archive, ArchiveBlocks, ArchiveError, ArchiveRecords, BadChunk, Corruption, RecoveryReport,
 };

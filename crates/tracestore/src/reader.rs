@@ -27,7 +27,7 @@ use fstrace::block::{decode_block, RecordBlock};
 use fstrace::codec::{decode_from, DecodeError};
 use fstrace::TraceRecord;
 
-use crate::compress::decompress;
+use crate::compress::{decompress, decompress_into};
 use crate::crc32::crc32;
 use crate::format::{
     chunk_crc, decode_chunk_header, decode_footer, ArchiveMeta, ChunkInfo, ARCHIVE_MAGIC,
@@ -179,9 +179,11 @@ impl Archive {
         self.bytes.len() as u64
     }
 
-    /// Verifies a chunk's frame and returns its raw (decompressed)
-    /// record payload, shared by the batched and scalar decoders.
-    fn chunk_payload(&self, index: usize) -> Result<std::borrow::Cow<'_, [u8]>, DecodeError> {
+    /// Chunk-read stage 1: bounds-check the frame, re-parse the on-disk
+    /// header against the index entry, and CRC the payload. Returns the
+    /// *stored* (possibly compressed) payload slice. Splitting the read
+    /// this way lets the pipeline time and overlap each stage.
+    pub(crate) fn verify_chunk(&self, index: usize) -> Result<&[u8], DecodeError> {
         let info = &self.chunks[index];
         let corrupt = || DecodeError::CorruptChunk {
             index: index as u64,
@@ -201,8 +203,69 @@ impl Archive {
         if chunk_crc(info, payload) != info.crc {
             return Err(corrupt());
         }
+        Ok(payload)
+    }
+
+    /// Chunk-read stage 2: decompress stage 1's payload into `scratch`
+    /// when the chunk is stored compressed (clearing and reusing the
+    /// buffer); passthrough chunks borrow straight from the archive.
+    pub(crate) fn decompress_chunk<'a>(
+        &'a self,
+        index: usize,
+        payload: &'a [u8],
+        scratch: &'a mut Vec<u8>,
+    ) -> Result<&'a [u8], DecodeError> {
+        let info = &self.chunks[index];
+        if !info.compressed {
+            return Ok(payload);
+        }
+        decompress_into(payload, info.raw_len as usize, scratch).map_err(|_| {
+            DecodeError::CorruptChunk {
+                index: index as u64,
+                offset: info.offset,
+            }
+        })?;
+        Ok(scratch)
+    }
+
+    /// Chunk-read stage 3: batched decode of a verified, decompressed
+    /// payload into `out`'s columns. Same contract as
+    /// [`Archive::decode_chunk_into`]: `out` is cleared first and left
+    /// empty on error.
+    pub(crate) fn decode_chunk_from(
+        &self,
+        index: usize,
+        raw: &[u8],
+        out: &mut RecordBlock,
+    ) -> Result<(), DecodeError> {
+        let info = &self.chunks[index];
+        let corrupt = || DecodeError::CorruptChunk {
+            index: index as u64,
+            offset: info.offset,
+        };
+        let mut pos = 0usize;
+        out.clear();
+        out.reserve(info.records as usize);
+        let decoded = decode_block(raw, &mut pos, 0, raw.len(), usize::MAX, out);
+        if decoded.is_err() || pos != raw.len() || out.len() != info.records as usize {
+            out.clear();
+            return Err(corrupt());
+        }
+        Ok(())
+    }
+
+    /// Verifies a chunk's frame and returns its raw (decompressed)
+    /// record payload, shared by the batched and scalar decoders.
+    fn chunk_payload(&self, index: usize) -> Result<std::borrow::Cow<'_, [u8]>, DecodeError> {
+        let info = &self.chunks[index];
+        let payload = self.verify_chunk(index)?;
         if info.compressed {
-            let raw = decompress(payload, info.raw_len as usize).map_err(|_| corrupt())?;
+            let raw = decompress(payload, info.raw_len as usize).map_err(|_| {
+                DecodeError::CorruptChunk {
+                    index: index as u64,
+                    offset: info.offset,
+                }
+            })?;
             Ok(std::borrow::Cow::Owned(raw))
         } else {
             Ok(std::borrow::Cow::Borrowed(payload))
@@ -218,21 +281,8 @@ impl Archive {
         index: usize,
         out: &mut RecordBlock,
     ) -> Result<(), DecodeError> {
-        let info = &self.chunks[index];
-        let corrupt = || DecodeError::CorruptChunk {
-            index: index as u64,
-            offset: info.offset,
-        };
         let raw = self.chunk_payload(index)?;
-        let mut pos = 0usize;
-        out.clear();
-        out.reserve(info.records as usize);
-        let decoded = decode_block(&raw, &mut pos, 0, raw.len(), usize::MAX, out);
-        if decoded.is_err() || pos != raw.len() || out.len() != info.records as usize {
-            out.clear();
-            return Err(corrupt());
-        }
-        Ok(())
+        self.decode_chunk_from(index, &raw, out)
     }
 
     /// Verifies and decodes one chunk record-at-a-time with the scalar
@@ -308,6 +358,20 @@ impl Archive {
             },
             failed: false,
         }
+    }
+
+    /// Starts an overlapped decode pipeline over this archive: `workers`
+    /// background threads verify, decompress, and decode chunks while
+    /// the returned iterator yields them in archive order — the
+    /// pipelined twin of [`Archive::blocks`], byte-identical to it for
+    /// any worker count. Takes `Arc<Self>` because the worker pool must
+    /// share ownership with the caller-held iterator.
+    pub fn pipelined(
+        self: std::sync::Arc<Self>,
+        mode: Corruption,
+        workers: usize,
+    ) -> crate::pipeline::PipelinedBlocks {
+        crate::pipeline::PipelinedBlocks::new(self, mode, workers)
     }
 
     /// Decodes the whole archive into memory, skipping damaged chunks,

@@ -1,0 +1,248 @@
+//! Pipeline ≡ sequential: the overlapped decode pipeline must be
+//! byte-identical to [`Archive::blocks`] — same records, same order,
+//! same recovery report — for any worker count, in both corruption
+//! modes, on clean, damaged, and truncated archives. The whole point of
+//! [`PipelinedBlocks`] is that it changes *when* chunks decode, never
+//! *what* the consumer observes.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use fstrace::{
+    AccessMode, FileId, FillBlock, OpenId, RecordBlock, TraceEvent, TraceRecord, UserId,
+};
+use tracestore::{Archive, ArchiveOptions, ArchiveWriter, Corruption};
+
+fn write_archive(records: &[TraceRecord], chunk_target_bytes: usize, compress: bool) -> Vec<u8> {
+    let mut w = ArchiveWriter::new(
+        Vec::new(),
+        ArchiveOptions {
+            chunk_target_bytes,
+            compress,
+            name: "pipe".into(),
+        },
+    )
+    .expect("header write");
+    for r in records {
+        w.write(r).expect("record write");
+    }
+    w.finish().expect("finish").0
+}
+
+fn sample_records(n: u64) -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        let t = i * 30;
+        out.push(TraceRecord::new(
+            t,
+            TraceEvent::Open {
+                open_id: OpenId(i),
+                file_id: FileId(i % 97),
+                user_id: UserId((i % 11) as u32),
+                mode: AccessMode::ReadOnly,
+                size: (i % 7) * 1024,
+                created: false,
+            },
+        ));
+        out.push(TraceRecord::new(
+            t + 20,
+            TraceEvent::Close {
+                open_id: OpenId(i),
+                final_pos: (i % 7) * 1024,
+            },
+        ));
+    }
+    out
+}
+
+/// Drains the sequential block reader into (records, report, errors).
+fn drain_sequential(
+    archive: &Archive,
+    mode: Corruption,
+) -> (Vec<TraceRecord>, tracestore::RecoveryReport, usize) {
+    let mut blocks = archive.blocks(mode);
+    let mut records = Vec::new();
+    let mut errors = 0usize;
+    for item in &mut blocks {
+        match item {
+            Ok(b) => b.append_to(&mut records),
+            Err(_) => errors += 1,
+        }
+    }
+    let report = blocks.report().clone();
+    (records, report, errors)
+}
+
+/// Drains the pipeline the same way.
+fn drain_pipelined(
+    archive: &Arc<Archive>,
+    mode: Corruption,
+    workers: usize,
+) -> (Vec<TraceRecord>, tracestore::RecoveryReport, usize) {
+    let mut blocks = Arc::clone(archive).pipelined(mode, workers);
+    let mut records = Vec::new();
+    let mut errors = 0usize;
+    for item in &mut blocks {
+        match item {
+            Ok(b) => b.append_to(&mut records),
+            Err(_) => errors += 1,
+        }
+    }
+    let report = blocks.report().clone();
+    (records, report, errors)
+}
+
+/// Asserts pipeline ≡ sequential for every worker count under test.
+fn assert_identical(bytes: Vec<u8>, mode: Corruption) {
+    let archive = Arc::new(Archive::from_bytes(bytes).expect("open"));
+    let (want_recs, want_report, want_errs) = drain_sequential(&archive, mode);
+    for workers in [1usize, 2, 8] {
+        let (got_recs, got_report, got_errs) = drain_pipelined(&archive, mode, workers);
+        assert_eq!(got_recs, want_recs, "records, workers={workers}");
+        assert_eq!(got_report, want_report, "report, workers={workers}");
+        assert_eq!(got_errs, want_errs, "errors, workers={workers}");
+    }
+}
+
+#[test]
+fn clean_archive_identical_across_worker_counts() {
+    let records = sample_records(1500);
+    let bytes = write_archive(&records, 512, true);
+    assert_identical(bytes.clone(), Corruption::Skip);
+    assert_identical(bytes, Corruption::Fail);
+}
+
+#[test]
+fn fail_mode_surfaces_the_same_error_and_fuses() {
+    let records = sample_records(1000);
+    let mut bytes = write_archive(&records, 512, true);
+    let clean = Archive::from_bytes(bytes.clone()).expect("open");
+    let chunks = clean.chunks().to_vec();
+    assert!(chunks.len() >= 3);
+    let victim = &chunks[1];
+    bytes[victim.offset as usize + tracestore::format::CHUNK_HEADER_LEN + 2] ^= 0xFF;
+
+    let archive = Arc::new(Archive::from_bytes(bytes).expect("open damaged"));
+    for workers in [1usize, 2, 8] {
+        let mut pipe = Arc::clone(&archive).pipelined(Corruption::Fail, workers);
+        let mut seen = 0usize;
+        let err = loop {
+            match pipe.next() {
+                Some(Ok(b)) => seen += b.len(),
+                Some(Err(e)) => break e,
+                None => panic!("pipeline ended without surfacing corruption"),
+            }
+        };
+        assert_eq!(seen, chunks[0].records as usize, "workers={workers}");
+        match err {
+            fstrace::codec::DecodeError::CorruptChunk { index, offset } => {
+                assert_eq!(index, 1);
+                assert_eq!(offset, victim.offset);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(pipe.next().is_none(), "fail-mode pipeline must fuse");
+        assert_eq!(pipe.report().chunks_skipped(), 1);
+    }
+}
+
+#[test]
+fn truncated_footer_archive_identical() {
+    // Cut mid-way through the last chunk: the footer is gone and the
+    // index is rebuilt by scanning; the pipeline must match the
+    // sequential reader over the rebuilt index too.
+    let records = sample_records(800);
+    let bytes = write_archive(&records, 512, true);
+    let clean = Archive::from_bytes(bytes.clone()).expect("open");
+    let chunks = clean.chunks().to_vec();
+    assert!(chunks.len() >= 3);
+    let cut = chunks[chunks.len() - 1].offset as usize + tracestore::format::CHUNK_HEADER_LEN + 1;
+    assert_identical(bytes[..cut].to_vec(), Corruption::Skip);
+    assert_identical(bytes[..cut].to_vec(), Corruption::Fail);
+}
+
+#[test]
+fn fill_block_path_recycles_and_matches() {
+    // The allocation-free FillBlock path must yield the same record
+    // stream as iterating owned blocks.
+    let records = sample_records(1200);
+    let bytes = write_archive(&records, 512, true);
+    let archive = Arc::new(Archive::from_bytes(bytes).expect("open"));
+    for workers in [1usize, 2, 8] {
+        let mut pipe = Arc::clone(&archive).pipelined(Corruption::Skip, workers);
+        let mut block = RecordBlock::new();
+        let mut got = Vec::new();
+        while pipe.fill_next(&mut block) {
+            block.append_to(&mut got);
+        }
+        assert_eq!(got, records, "workers={workers}");
+        assert!(pipe.report().is_clean());
+    }
+}
+
+#[test]
+fn empty_archive_yields_nothing() {
+    let bytes = write_archive(&[], ArchiveOptions::default().chunk_target_bytes, true);
+    let archive = Arc::new(Archive::from_bytes(bytes).expect("open"));
+    let mut pipe = Arc::clone(&archive).pipelined(Corruption::Fail, 4);
+    assert!(pipe.next().is_none());
+    assert!(pipe.report().is_clean());
+}
+
+#[test]
+fn dropping_mid_stream_shuts_down_cleanly() {
+    // Take a few blocks, then drop the pipeline with chunks still in
+    // flight: Drop must unblock and join every worker (a hang here
+    // fails the test by timeout).
+    let records = sample_records(2000);
+    let bytes = write_archive(&records, 512, true);
+    let archive = Arc::new(Archive::from_bytes(bytes).expect("open"));
+    for workers in [1usize, 2, 8] {
+        let mut pipe = Arc::clone(&archive).pipelined(Corruption::Skip, workers);
+        let _ = pipe.next();
+        let _ = pipe.next();
+        drop(pipe);
+    }
+}
+
+proptest! {
+    /// Pipeline ≡ sequential for arbitrary streams, chunk sizes,
+    /// compression settings, worker counts, and mid-chunk corruption
+    /// under Skip mode.
+    #[test]
+    fn pipelined_matches_sequential(
+        records in prop::collection::vec((0u64..100_000u64, 0u64..500u64), 0..400)
+            .prop_map(|mut pairs| {
+                pairs.sort_by_key(|(t, _)| *t);
+                pairs.into_iter().map(|(t, o)| {
+                    TraceRecord::new(t, TraceEvent::Close {
+                        open_id: OpenId(o),
+                        final_pos: o * 512,
+                    })
+                }).collect::<Vec<_>>()
+            }),
+        chunk_kib in 0usize..3,
+        compress in any::<bool>(),
+        corrupt in any::<bool>(),
+        victim_seed in any::<u64>(),
+        byte_seed in any::<u64>(),
+        flip in 1u8..=255,
+        workers in 1usize..9,
+    ) {
+        let chunk = 256 << chunk_kib;
+        let mut bytes = write_archive(&records, chunk, compress);
+        let clean = Archive::from_bytes(bytes.clone()).expect("open");
+        if corrupt && !clean.chunks().is_empty() {
+            let chunks = clean.chunks();
+            let info = chunks[(victim_seed % chunks.len() as u64) as usize];
+            let at = info.offset + byte_seed % info.frame_len();
+            bytes[at as usize] ^= flip;
+        }
+        let archive = Arc::new(Archive::from_bytes(bytes).expect("open"));
+        let (want_recs, want_report, _) = drain_sequential(&archive, Corruption::Skip);
+        let (got_recs, got_report, _) = drain_pipelined(&archive, Corruption::Skip, workers);
+        prop_assert_eq!(&got_recs, &want_recs);
+        prop_assert_eq!(&got_report, &want_report);
+    }
+}
