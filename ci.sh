@@ -299,6 +299,63 @@ awk -F'[:,]' '
     }' target/artifacts/BENCH_9.json
 echo "   wrote target/artifacts/BENCH_9.json"
 
+echo "== trace-serving daemon benchmark artifact"
+# servebench streams a 6-machine fleet into an in-process tracestored
+# from concurrent client connections, then asserts the two daemon
+# contracts: the server's shard directory is byte-identical to an
+# offline FleetMerge through an identically configured ShardSet, and
+# served summary/analyze/range replies equal local computation. Both
+# are gated unconditionally. The concurrent ingest floor is core-count-
+# adaptive like BENCH_5..9: >= 200k records/s on 4+ cores, >= 100k on
+# 2-3, >= 50k on a single shared core.
+./target/release/servebench --machines 6 --hours 0.5 --seed 1985 --json \
+    > target/artifacts/BENCH_10.json
+awk -F'[:,]' '
+    /"cores"/ { cores = $2 }
+    /"identical"/ { identical = $2 }
+    /"queries_match"/ { queries = $2 }
+    /"ingest_records_s"/ { rps = $2 }
+    /"shards"/ { shards = $2 }
+    END {
+        gsub(/[ "]/, "", identical); gsub(/[ "]/, "", queries)
+        if (identical != "true") { print "   serve: shards differ from offline merge"; exit 1 }
+        if (queries != "true") { print "   serve: query replies diverged"; exit 1 }
+        if (shards + 0 < 2) { print "   serve: no shard rotation (" shards ")"; exit 1 }
+        if (cores + 0 >= 4) floor = 200000; else if (cores + 0 >= 2) floor = 100000; else floor = 50000
+        if (rps + 0 < floor) {
+            print "   serve: ingest " rps " records/s < " floor " floor (" cores " cores)"; exit 1
+        }
+        printf "   serve: byte-identical shards, queries match, %.0f records/s ingest (floor %d on %s core(s))\n", \
+            rps, floor, cores
+    }' target/artifacts/BENCH_10.json
+echo "   wrote target/artifacts/BENCH_10.json"
+
+echo "== trace-serving daemon CLI smoke"
+# The same drill at the CLI surface: start a daemon, stream a fleet
+# into it with mktrace --serve, query it, inspect its shard directory,
+# and shut it down cleanly.
+SERVE=target/artifacts/serve_smoke
+rm -rf "$SERVE" && mkdir -p "$SERVE"
+./target/release/tracestored serve --addr 127.0.0.1:0 --dir "$SERVE/shards" \
+    --shard-kib 256 --port-file "$SERVE/port" 2>"$SERVE/daemon.log" &
+DAEMON=$!
+for _ in $(seq 50); do [ -s "$SERVE/port" ] && break; sleep 0.1; done
+[ -s "$SERVE/port" ] || { echo "   serve: daemon never wrote its port"; exit 1; }
+ADDR="127.0.0.1:$(cat "$SERVE/port")"
+./target/release/mktrace a5 --hours 0.05 --machines 2 --serve "$ADDR" 2>/dev/null
+./target/release/tracestored client --addr "$ADDR" summary > "$SERVE/summary.txt"
+grep -qi "trace" "$SERVE/summary.txt" || {
+    echo "   serve: summary reply looks empty"; exit 1; }
+./target/release/tracestored client --addr "$ADDR" metrics | \
+    grep -q "tracestored_ingest_records" || {
+    echo "   serve: /metrics missing ingest counter"; exit 1; }
+./target/release/tracestored client --addr "$ADDR" shutdown
+wait "$DAEMON" || { echo "   serve: daemon exited nonzero"; exit 1; }
+./target/release/tracefmt inspect "$SERVE/shards" > "$SERVE/inspect.txt"
+grep -q "shard dir:" "$SERVE/inspect.txt" || {
+    echo "   serve: tracefmt inspect did not recognize the shard dir"; exit 1; }
+echo "   serve: daemon round-trip, query, inspect, clean shutdown"
+
 echo "== metrics artifact"
 # Stamp the metrics JSON with the commit it came from and leave it in
 # target/artifacts/ for CI to upload.

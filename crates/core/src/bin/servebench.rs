@@ -1,0 +1,344 @@
+//! `servebench`: measure `tracestored` ingest throughput and verify
+//! the daemon's equivalence contracts end to end.
+//!
+//! ```text
+//! servebench [--machines N] [--hours H] [--seed S] [--jobs N] [--json]
+//! ```
+//!
+//! Generates an N-machine fleet's per-machine streams, spawns an
+//! in-process daemon on a loopback port, and streams every machine in
+//! from its own client thread. Afterwards it asserts the two contracts
+//! ci.sh gates on:
+//!
+//! - **identical** — the daemon's shard directory is byte-identical to
+//!   an offline [`FleetMerge`] of the same streams through an
+//!   identically configured [`ShardSet`];
+//! - **queries_match** — the served `summary` and `analyze` replies
+//!   equal the same analyses computed locally over the merged trace.
+//!
+//! It reports concurrent ingest records/s (the gated throughput) and
+//! the wall latency of a `range` and an `analyze` query against the
+//! live daemon.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use fstrace::source::FleetMerge;
+use fstrace::{IdOffsets, Trace, TraceRecord, TraceSummary};
+use tracestored::{render_suite, Client, ServerConfig, ShardPolicy, ShardSet};
+use workload::{FleetConfig, MachineSim};
+
+/// Records per OP_RECORDS frame; matches the IngestSink batch size.
+const BATCH: usize = 8192;
+
+/// Analyzer activity windows; must match the server config below.
+const WINDOWS: [u64; 2] = [600, 10];
+
+/// Materializes one machine's full stream (the epoch loop the live
+/// paths use, minus the network).
+fn machine_stream(config: &FleetConfig, m: usize) -> Vec<TraceRecord> {
+    let mut sim = MachineSim::new(&config.machine_config(m))
+        .unwrap_or_else(|e| die(&format!("machine {m}: {e}")));
+    let mut out: Vec<TraceRecord> = Vec::new();
+    let mut t = config.epoch_ms;
+    loop {
+        sim.advance(t, &mut out)
+            .unwrap_or_else(|e| die(&format!("machine {m}: {e}")));
+        sim.flush_to(t, &mut out)
+            .unwrap_or_else(|e| die(&format!("machine {m}: {e}")));
+        if sim.idle() {
+            sim.seal(&mut out)
+                .unwrap_or_else(|e| die(&format!("machine {m}: {e}")));
+            return out;
+        }
+        t += config.epoch_ms;
+    }
+}
+
+/// The offline reference: FleetMerge with the fleet's real offsets,
+/// released into both a record vector and an identically configured
+/// shard set.
+fn offline_reference(
+    streams: &[Vec<TraceRecord>],
+    offsets: &[IdOffsets],
+    policy: ShardPolicy,
+) -> Vec<TraceRecord> {
+    let mut to_vec = FleetMerge::new(offsets.to_vec());
+    let mut to_shards = FleetMerge::new(offsets.to_vec());
+    for (i, stream) in streams.iter().enumerate() {
+        for rec in stream {
+            to_vec.push(i, rec);
+            to_shards.push(i, rec);
+        }
+        for m in [&mut to_vec, &mut to_shards] {
+            m.set_progress(i, u64::MAX);
+            m.finish_input(i);
+        }
+    }
+    let mut merged = Vec::new();
+    to_vec
+        .finish(&mut merged)
+        .unwrap_or_else(|e| die(&format!("offline merge: {e}")));
+    let mut shards =
+        ShardSet::create(policy).unwrap_or_else(|e| die(&format!("offline shards: {e}")));
+    to_shards
+        .finish(&mut shards)
+        .unwrap_or_else(|e| die(&format!("offline merge: {e}")));
+    shards
+        .finish()
+        .unwrap_or_else(|e| die(&format!("offline seal: {e}")));
+    merged
+}
+
+fn shard_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| die(&format!("read {}: {e}", dir.display())))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "tsa"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn dirs_byte_identical(a: &Path, b: &Path) -> bool {
+    let (fa, fb) = (shard_files(a), shard_files(b));
+    let name = |p: &PathBuf| p.file_name().map(|s| s.to_os_string());
+    fa.len() == fb.len()
+        && fa
+            .iter()
+            .zip(&fb)
+            .all(|(x, y)| name(x) == name(y) && std::fs::read(x).ok() == std::fs::read(y).ok())
+}
+
+/// Peak resident set size in kbytes (`VmHWM` from `/proc/self/status`),
+/// or 0 where unavailable.
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|kb| kb.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let mut machines = 4usize;
+    let mut hours = 0.1f64;
+    let mut seed = 1985u64;
+    let mut jobs = 0usize; // 0: pick from the core count.
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--machines" => {
+                machines = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0 && n <= u16::MAX as usize)
+                    .unwrap_or_else(|| die("--machines needs a positive integer"))
+            }
+            "--hours" => {
+                hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--hours needs a number"))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"))
+            }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"))
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: servebench [--machines N] [--hours H] [--seed S] [--jobs N] [--json]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if jobs == 0 {
+        jobs = cores.min(4);
+    }
+
+    let fleet = FleetConfig {
+        machines,
+        seed,
+        duration_hours: hours,
+        user_scale: 0.5,
+        ..FleetConfig::default()
+    };
+    let streams: Vec<Vec<TraceRecord>> = (0..machines).map(|m| machine_stream(&fleet, m)).collect();
+    let offsets: Vec<IdOffsets> = (0..machines).map(|m| fleet.machine_offsets(m)).collect();
+    let records: u64 = streams.iter().map(|s| s.len() as u64).sum();
+
+    let base = PathBuf::from("target/artifacts/servebench");
+    let server_dir = base.join("server");
+    let offline_dir = base.join("offline");
+    for dir in [&server_dir, &offline_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // Small enough shards that rotation actually happens at bench
+    // scale; identical policy on both sides.
+    let policy = ShardPolicy {
+        dir: offline_dir.clone(),
+        name: "served".into(),
+        shard_target_bytes: 64 << 10,
+        bucket_ms: 0,
+        chunk_target_bytes: 64 << 10,
+        compress: true,
+    };
+    let merged = offline_reference(&streams, &offsets, policy.clone());
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: server_dir.clone(),
+        shard_target_bytes: policy.shard_target_bytes,
+        bucket_ms: policy.bucket_ms,
+        chunk_target_bytes: policy.chunk_target_bytes,
+        compress: policy.compress,
+        backpressure_records: 1 << 20,
+        analysis_windows: WINDOWS.to_vec(),
+        query_jobs: jobs,
+    };
+    let (addr, handle) = tracestored::spawn(config).unwrap_or_else(|e| die(&format!("spawn: {e}")));
+    let addr = addr.to_string();
+
+    // Concurrent ingest: one client thread per machine.
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for (m, stream) in streams.iter().enumerate() {
+            let addr = addr.clone();
+            let offsets = offsets[m];
+            scope.spawn(move || {
+                let mut client =
+                    Client::connect(&addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+                client
+                    .hello(machines as u16, m as u16, offsets, &format!("bench-{m}"))
+                    .unwrap_or_else(|e| die(&format!("hello {m}: {e}")));
+                for chunk in stream.chunks(BATCH) {
+                    client
+                        .send_records(chunk)
+                        .unwrap_or_else(|e| die(&format!("send {m}: {e}")));
+                    client
+                        .progress(chunk.last().expect("non-empty").time.as_ms())
+                        .unwrap_or_else(|e| die(&format!("progress {m}: {e}")));
+                }
+                client.progress(u64::MAX).ok();
+                let accepted = client
+                    .fin()
+                    .unwrap_or_else(|e| die(&format!("fin {m}: {e}")));
+                if accepted != stream.len() as u64 {
+                    die(&format!(
+                        "machine {m}: server accepted {accepted}, sent {}",
+                        stream.len()
+                    ));
+                }
+            });
+        }
+    });
+    let ingest_ms = started.elapsed().as_secs_f64() * 1e3;
+    let ingest_rps = records as f64 / (ingest_ms / 1e3);
+
+    // Query equivalence + latency against the live daemon.
+    let mut q = Client::connect(&addr).unwrap_or_else(|e| die(&format!("query connect: {e}")));
+    let summary_served = q
+        .summary()
+        .unwrap_or_else(|e| die(&format!("summary: {e}")));
+    let summary_local = TraceSummary::compute(&Trace::from_records(merged.clone())).to_string();
+
+    let started = Instant::now();
+    let suite_served = q
+        .analyze()
+        .unwrap_or_else(|e| die(&format!("analyze: {e}")));
+    let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
+    let suite_local = render_suite(&fsanalysis::run_analyzers(merged.iter(), &WINDOWS));
+
+    let last_ms = merged.last().map_or(0, |r| r.time.as_ms());
+    let (from, to) = (last_ms / 4, last_ms / 2);
+    let started = Instant::now();
+    let range_served = q
+        .range(from, to)
+        .unwrap_or_else(|e| die(&format!("range: {e}")));
+    let range_ms = started.elapsed().as_secs_f64() * 1e3;
+    let range_local: Vec<TraceRecord> = merged
+        .iter()
+        .filter(|r| r.time.as_ms() >= from && r.time.as_ms() < to)
+        .copied()
+        .collect();
+
+    let queries_match = summary_served == summary_local
+        && suite_served == suite_local
+        && range_served == range_local;
+
+    q.shutdown()
+        .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+    let stats = handle
+        .join()
+        .unwrap_or_else(|_| die("server thread panicked"))
+        .unwrap_or_else(|e| die(&format!("server: {e}")));
+    let identical = stats.records_merged == merged.len() as u64
+        && dirs_byte_identical(&server_dir, &offline_dir);
+    let rss = peak_rss_kb();
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"machines\": {machines},\n"));
+        out.push_str(&format!("  \"cores\": {cores},\n"));
+        out.push_str(&format!("  \"jobs\": {jobs},\n"));
+        out.push_str(&format!("  \"hours\": {hours},\n"));
+        out.push_str(&format!("  \"seed\": {seed},\n"));
+        out.push_str(&format!("  \"records\": {records},\n"));
+        out.push_str(&format!("  \"shards\": {},\n", stats.shards.len()));
+        out.push_str(&format!("  \"identical\": {identical},\n"));
+        out.push_str(&format!("  \"queries_match\": {queries_match},\n"));
+        out.push_str(&format!("  \"ingest_wall_ms\": {ingest_ms:.1},\n"));
+        out.push_str(&format!("  \"ingest_records_s\": {ingest_rps:.0},\n"));
+        out.push_str(&format!("  \"analyze_ms\": {analyze_ms:.1},\n"));
+        out.push_str(&format!("  \"range_ms\": {range_ms:.1},\n"));
+        out.push_str(&format!("  \"range_records\": {},\n", range_served.len()));
+        out.push_str(&format!("  \"peak_rss_kb\": {rss}\n"));
+        out.push('}');
+        println!("{out}");
+    } else {
+        println!(
+            "serve: {machines} machines x {hours} h (seed {seed}), {jobs} query jobs on {cores} cores"
+        );
+        println!("  records: {records} into {} shard(s)", stats.shards.len());
+        println!("  identical: {identical}");
+        println!("  queries_match: {queries_match}");
+        println!("  ingest: {ingest_ms:.1} ms ({ingest_rps:.0} records/s)");
+        println!(
+            "  analyze: {analyze_ms:.1} ms, range: {range_ms:.1} ms ({} records)",
+            range_served.len()
+        );
+        println!("  peak_rss_kb: {rss}");
+    }
+    if !identical {
+        die("server shards differ from the offline merge");
+    }
+    if !queries_match {
+        die("served query replies differ from local computation");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("servebench: {msg}");
+    std::process::exit(1);
+}

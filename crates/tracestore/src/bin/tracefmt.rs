@@ -5,6 +5,7 @@
 //! tracefmt pack     FILE OUT    archive a trace (flat, text, or archive input)
 //! tracefmt unpack   FILE OUT    convert any trace to a flat binary trace
 //! tracefmt inspect  FILE        print an archive's metadata and chunk table
+//! tracefmt inspect  DIR         aggregate table over a shard directory
 //! tracefmt inspect  FILE --tags per-kind record histogram by chunk range
 //! tracefmt verify   FILE        check every chunk; nonzero exit on damage
 //! tracefmt summary  FILE        print Table III-style statistics
@@ -288,7 +289,105 @@ fn cmd_inspect_tags(file: &str) {
     );
 }
 
+/// `inspect` on a directory: one row per `*.tsa` shard (as written by
+/// `tracestored` or any rotation scheme), plus totals and a cross-shard
+/// time-ordering check. Shards are taken in lexicographic name order —
+/// the daemon's zero-padded `{name}-{seq:05}.tsa` scheme makes that the
+/// stream order.
+fn cmd_inspect_dir(dir: &str) {
+    let mut paths: Vec<std::path::PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| die(&format!("read {dir}: {e}")))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "tsa"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        die(&format!("{dir}: no .tsa shards"));
+    }
+    println!("shard dir: {dir} ({} shards)", paths.len());
+    println!(
+        "{:<24} {:>10} {:>7} {:>12} {:>5} {:>12} {:>12}",
+        "shard", "records", "chunks", "bytes", "cmp", "first_ms", "last_ms"
+    );
+    let (mut records, mut chunks, mut bytes) = (0u64, 0usize, 0u64);
+    let (mut raw, mut stored) = (0u64, 0u64);
+    let mut rebuilt = 0usize;
+    let mut prev: Option<(String, u64)> = None; // (name, last_ms) of prior shard
+    let mut disorder = Vec::new();
+    for path in &paths {
+        let name = path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let archive = open_archive(&path.to_string_lossy());
+        let meta = archive.meta();
+        let index = archive.chunks();
+        let (first_ms, last_ms) = match (index.first(), index.last()) {
+            (Some(f), Some(l)) => (
+                f.first_ticks * fstrace::TICK_MS,
+                l.last_ticks * fstrace::TICK_MS,
+            ),
+            _ => (0, 0),
+        };
+        let shard_raw: u64 = index.iter().map(|c| c.raw_len as u64).sum();
+        let shard_stored: u64 = index.iter().map(|c| c.stored_len as u64).sum();
+        println!(
+            "{:<24} {:>10} {:>7} {:>12} {:>5} {:>12} {:>12}{}",
+            name,
+            meta.total_records,
+            index.len(),
+            archive.byte_len(),
+            format!("{:.2}", obs::ratio(shard_raw, shard_stored)),
+            first_ms,
+            last_ms,
+            if archive.footer_rebuilt() {
+                "  FOOTER REBUILT"
+            } else {
+                ""
+            }
+        );
+        if let Some((prev_name, prev_last)) = &prev {
+            if !index.is_empty() && first_ms < *prev_last {
+                disorder.push(format!(
+                    "{name} starts at {first_ms} ms, before {prev_name} ends at {prev_last} ms"
+                ));
+            }
+        }
+        if !index.is_empty() {
+            prev = Some((name, last_ms));
+        }
+        records += meta.total_records;
+        chunks += index.len();
+        bytes += archive.byte_len();
+        raw += shard_raw;
+        stored += shard_stored;
+        rebuilt += archive.footer_rebuilt() as usize;
+    }
+    println!(
+        "{:<24} {:>10} {:>7} {:>12} {:>5}",
+        "total",
+        records,
+        chunks,
+        bytes,
+        format!("{:.2}", obs::ratio(raw, stored)),
+    );
+    if rebuilt > 0 {
+        println!("footers:  {rebuilt} shard(s) rebuilt by scan — run `tracefmt verify`");
+    }
+    if disorder.is_empty() {
+        println!("order:    shards nonoverlapping in name order");
+    } else {
+        for d in &disorder {
+            println!("order:    OVERLAP — {d}");
+        }
+        exit(1);
+    }
+}
+
 fn cmd_inspect(file: &str) {
+    if fs::metadata(file).map(|m| m.is_dir()).unwrap_or(false) {
+        return cmd_inspect_dir(file);
+    }
     let archive = open_archive(file);
     let meta = archive.meta();
     let chunks = archive.chunks();
@@ -451,7 +550,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: tracefmt dump FILE | pack FILE OUT [--chunk-kib N] [--no-compress] \
-                 [--name NAME] | unpack FILE OUT | inspect FILE [--tags] | verify FILE \
+                 [--name NAME] | unpack FILE OUT | inspect FILE|DIR [--tags] | verify FILE \
                  | summary FILE | sessions FILE"
             );
             exit(2);

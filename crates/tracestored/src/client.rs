@@ -1,0 +1,189 @@
+//! The client side of the protocol: one struct per connection, plus a
+//! [`RecordSink`] adapter so any generator (notably `mktrace --serve`)
+//! can stream into a daemon as if it were writing a local file.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use fstrace::codec::{get_varint, put_varint};
+use fstrace::{IdOffsets, RecordSink, TraceRecord};
+
+use crate::protocol::{self, Hello};
+
+/// Records per batch frame the streaming adapter sends. Big enough to
+/// amortize framing, small enough that backpressure stays responsive.
+const BATCH: usize = 8192;
+
+/// One protocol connection to a `tracestored`.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects; the socket stays open for the client's lifetime.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Declares this connection as merge input `index` of `total`.
+    /// Acked: returns once the server accepted the attachment.
+    pub fn hello(
+        &mut self,
+        total: u16,
+        index: u16,
+        offsets: IdOffsets,
+        name: &str,
+    ) -> io::Result<()> {
+        let hello = Hello {
+            total_inputs: total,
+            input_index: index,
+            offsets,
+            name: name.to_string(),
+        };
+        protocol::write_frame(&mut self.stream, protocol::OP_HELLO, &hello.encode())?;
+        protocol::read_reply(&mut self.stream).map(|_| ())
+    }
+
+    /// Streams one record batch. Unacked — errors surface on the next
+    /// acked call (`fin`), which is what keeps ingest pipelined.
+    pub fn send_records(&mut self, records: &[TraceRecord]) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(records.len() * 8 + 8);
+        protocol::encode_records(&mut payload, records);
+        protocol::write_frame(&mut self.stream, protocol::OP_RECORDS, &payload)
+    }
+
+    /// Advances this input's progress watermark. Unacked.
+    pub fn progress(&mut self, up_to_ms: u64) -> io::Result<()> {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, up_to_ms);
+        protocol::write_frame(&mut self.stream, protocol::OP_PROGRESS, &payload)
+    }
+
+    /// Finishes this input; returns the server's accepted record count.
+    pub fn fin(&mut self) -> io::Result<u64> {
+        protocol::write_frame(&mut self.stream, protocol::OP_FIN, &[])?;
+        let reply = protocol::read_reply(&mut self.stream)?;
+        let mut pos = 0;
+        get_varint(&reply, &mut pos)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn text_query(&mut self, op: u8, payload: &[u8]) -> io::Result<String> {
+        protocol::write_frame(&mut self.stream, op, payload)?;
+        let reply = protocol::read_reply(&mut self.stream)?;
+        String::from_utf8(reply)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "reply is not utf-8"))
+    }
+
+    /// The Table-III summary of the served trace, as text.
+    pub fn summary(&mut self) -> io::Result<String> {
+        self.text_query(protocol::OP_SUMMARY, &[])
+    }
+
+    /// The full Section-5 analyzer suite, rendered server-side.
+    pub fn analyze(&mut self) -> io::Result<String> {
+        self.text_query(protocol::OP_ANALYZE, &[])
+    }
+
+    /// A cache sweep over the served trace, one row per size in KiB.
+    pub fn sweep(&mut self, sizes_kb: &[u64]) -> io::Result<String> {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, sizes_kb.len() as u64);
+        for &kb in sizes_kb {
+            put_varint(&mut payload, kb);
+        }
+        self.text_query(protocol::OP_SWEEP, &payload)
+    }
+
+    /// Records with `from_ms <= time < to_ms`.
+    pub fn range(&mut self, from_ms: u64, to_ms: u64) -> io::Result<Vec<TraceRecord>> {
+        let mut payload = Vec::new();
+        put_varint(&mut payload, from_ms);
+        put_varint(&mut payload, to_ms);
+        protocol::write_frame(&mut self.stream, protocol::OP_RANGE, &payload)?;
+        let reply = protocol::read_reply(&mut self.stream)?;
+        protocol::decode_records(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Asks the daemon to seal, drain, and stop. Acked.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        protocol::write_frame(&mut self.stream, protocol::OP_SHUTDOWN, &[])?;
+        protocol::read_reply(&mut self.stream).map(|_| ())
+    }
+}
+
+/// Fetches the `/metrics` page over a plain HTTP GET on the daemon
+/// port; returns the body.
+pub fn fetch_metrics(addr: &str) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_head, body)) => Ok(body.to_string()),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed http response",
+        )),
+    }
+}
+
+/// A [`RecordSink`] that streams into a daemon: batches records,
+/// advancing the progress watermark to the last sent record after each
+/// batch. Sound for any sink fed in nondecreasing time order (every
+/// generator path is), because a record at time T promises nothing
+/// earlier than T remains unsent.
+pub struct IngestSink<'a> {
+    client: &'a mut Client,
+    buf: Vec<TraceRecord>,
+    sent: u64,
+}
+
+impl<'a> IngestSink<'a> {
+    /// Wraps a connection that has already said `hello`.
+    pub fn new(client: &'a mut Client) -> Self {
+        IngestSink {
+            client,
+            buf: Vec::with_capacity(BATCH),
+            sent: 0,
+        }
+    }
+
+    fn flush_batch(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.client.send_records(&self.buf)?;
+        self.sent += self.buf.len() as u64;
+        let last_ms = self.buf.last().expect("non-empty batch").time.as_ms();
+        self.client.progress(last_ms)?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail batch and finishes the input; returns the
+    /// server's accepted count.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.flush_batch()?;
+        self.client.progress(u64::MAX)?;
+        self.client.fin()
+    }
+
+    /// Records sent so far (flushed batches only).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl RecordSink for IngestSink<'_> {
+    fn write_record(&mut self, rec: &TraceRecord) -> io::Result<()> {
+        self.buf.push(*rec);
+        if self.buf.len() >= BATCH {
+            self.flush_batch()?;
+        }
+        Ok(())
+    }
+}

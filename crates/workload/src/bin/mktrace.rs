@@ -4,6 +4,7 @@
 //! ```text
 //! mktrace PROFILE[,PROFILE...] [--hours H] [--seed S] [--out FILE] [--text]
 //!         [--machines N] [--jobs N] [--user-scale F] [--epoch-ms MS]
+//!         [--serve ADDR]
 //!
 //! PROFILE: a5 | e3 | c4, comma-separated to mix
 //! ```
@@ -23,6 +24,13 @@
 //! ([`workload::generate_into`] / [`workload::generate_fleet_into`]),
 //! so memory stays bounded no matter how many hours or machines are
 //! simulated.
+//!
+//! With `--serve ADDR` nothing is written locally: every machine
+//! streams over its own connection into a running `tracestored`, which
+//! performs the watermark merge server-side and shards the result. The
+//! daemon's merged archive is byte-identical to what `--out fleet.tsa`
+//! would produce through the same shard policy, because both paths run
+//! the same [`fstrace::FleetMerge`] over the same per-machine streams.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -30,7 +38,10 @@ use std::process::exit;
 
 use fstrace::{RecordSink, TextSink, TraceWriter};
 use tracestore::{ArchiveOptions, ArchiveWriter};
-use workload::{generate_fleet_into, generate_into, FleetConfig, MachineProfile, WorkloadConfig};
+use tracestored::Client;
+use workload::{
+    generate_fleet_into, generate_into, FleetConfig, MachineProfile, MachineSim, WorkloadConfig,
+};
 
 fn main() {
     let mut mix: Vec<MachineProfile> = Vec::new();
@@ -42,6 +53,7 @@ fn main() {
     let mut jobs = 1usize;
     let mut user_scale = 1.0f64;
     let mut epoch_ms = 60_000u64;
+    let mut serve: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -88,11 +100,18 @@ fn main() {
             "--out" | "-o" => {
                 out = args.next().unwrap_or_else(|| die("--out needs a path"));
             }
+            "--serve" => {
+                serve = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--serve needs an address")),
+                );
+            }
             "--text" => text = true,
             "--help" | "-h" => {
                 println!(
                     "usage: mktrace a5|e3|c4[,...] [--hours H] [--seed S] [--out FILE] [--text]\n\
-                     \x20      [--machines N] [--jobs N] [--user-scale F] [--epoch-ms MS]"
+                     \x20      [--machines N] [--jobs N] [--user-scale F] [--epoch-ms MS]\n\
+                     \x20      [--serve ADDR]"
                 );
                 return;
             }
@@ -108,6 +127,24 @@ fn main() {
     }
     if mix.is_empty() {
         die("missing profile (a5, e3 or c4, comma-separated to mix)");
+    }
+
+    if let Some(addr) = serve {
+        if text {
+            die("--serve streams binary records; --text does not apply");
+        }
+        let config = FleetConfig {
+            mix,
+            machines,
+            seed,
+            duration_hours: hours,
+            user_scale,
+            jobs,
+            epoch_ms,
+            ..FleetConfig::default()
+        };
+        serve_fleet(&addr, config);
+        return;
     }
 
     let file = File::create(&out).unwrap_or_else(|e| die(&format!("create {out}: {e}")));
@@ -193,6 +230,92 @@ fn main() {
 
 fn gen_fleet(config: &FleetConfig, sink: &mut dyn RecordSink) -> workload::FleetStats {
     generate_fleet_into(config, sink).unwrap_or_else(|e| die(&format!("generate: {e}")))
+}
+
+/// Streams every machine of the fleet into a running `tracestored`:
+/// one connection (= one merge input) per machine, `min(jobs,
+/// machines)` worker threads striped over them. Each machine runs the
+/// same epoch loop as the local fleet path — advance to the horizon,
+/// ship the finalized records, publish progress — except the watermark
+/// merge happens in the daemon instead of in this process.
+fn serve_fleet(addr: &str, mut config: FleetConfig) {
+    let machines = config.machines;
+    if machines >= 64 {
+        eprintln!("  (>= 64 machines: using the memory-frugal fleet() file-system geometry)");
+        config.fs_params = bsdfs::FsParams::fleet();
+    }
+    let names: Vec<&str> = config.mix.iter().map(|p| p.trace_name).collect();
+    eprintln!(
+        "streaming a fleet of {machines} machines (mix {}) for {} simulated hours to {addr} ...",
+        names.join(","),
+        config.duration_hours
+    );
+    let workers = config.jobs.min(machines).max(1);
+    let total: u64 = std::thread::scope(|scope| {
+        let config = &config;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut sent = 0u64;
+                    for m in (w..machines).step_by(workers) {
+                        sent += serve_machine(addr, config, m)
+                            .unwrap_or_else(|e| die(&format!("machine {m}: {e}")));
+                    }
+                    sent
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    eprintln!("served {total} records from {machines} machine(s) to {addr}");
+}
+
+/// Simulates one machine, streaming into the daemon epoch by epoch.
+fn serve_machine(addr: &str, config: &FleetConfig, m: usize) -> std::io::Result<u64> {
+    let machine_config = config.machine_config(m);
+    let mut client = Client::connect(addr)?;
+    client.hello(
+        config.machines as u16,
+        m as u16,
+        config.machine_offsets(m),
+        &format!("{}-{m}", machine_config.profile.trace_name),
+    )?;
+    let mut sim =
+        MachineSim::new(&machine_config).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let mut t = config.epoch_ms;
+    let mut batch: Vec<fstrace::TraceRecord> = Vec::new();
+    loop {
+        sim.advance(t, &mut batch)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        sim.flush_to(t, &mut batch)?;
+        let done = sim.idle();
+        if done {
+            // Final sync and tail: consumes the simulator.
+            let out = sim
+                .seal(&mut batch)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+            if !batch.is_empty() {
+                client.send_records(&batch)?;
+            }
+            client.progress(u64::MAX)?;
+            let accepted = client.fin()?;
+            if accepted != out.records {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("server accepted {accepted}, sent {}", out.records),
+                ));
+            }
+            return Ok(accepted);
+        }
+        if !batch.is_empty() {
+            client.send_records(&batch)?;
+            batch.clear();
+        }
+        // Progress AFTER sending: a watermark the daemon applies is
+        // always backed by already-shipped records.
+        client.progress(t)?;
+        t += config.epoch_ms;
+    }
 }
 
 fn run_single(
